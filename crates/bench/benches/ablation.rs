@@ -1,0 +1,57 @@
+//! Ablation bench for the design choices of Section IV: the fine-grained
+//! thread plan versus the rejected vertical partitioning, and the thread-safe
+//! chained hash table under low and high bucket contention.  The textual
+//! ablation report is produced by
+//! `cargo run -p bench --bin experiments -- ablation`.
+
+use bench::experiments::{prepare_dataset, ExperimentScale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::DatasetId;
+use gtadoc::hashtable::GpuHashTable;
+use gtadoc::params::GtadocParams;
+use gtadoc::schedule::{vertical_partition_estimate, ThreadPlan};
+
+const SCALE: ExperimentScale = ExperimentScale(0.03);
+
+fn bench_ablation(c: &mut Criterion) {
+    let prepared = prepare_dataset(DatasetId::B, SCALE);
+    let layout = &prepared.layout;
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("schedule/fine_grained_plan", |b| {
+        b.iter(|| ThreadPlan::fine_grained(layout, &GtadocParams::default()))
+    });
+    group.bench_function("schedule/vertical_partition_estimate_16", |b| {
+        b.iter(|| vertical_partition_estimate(layout, 16))
+    });
+
+    group.bench_function("hashtable/chained_inserts_10k", |b| {
+        b.iter(|| {
+            let mut table = GpuHashTable::with_capacity(10_000, 2.0);
+            for k in 0..10_000u64 {
+                table.insert_add_host(k % 4_096, 1);
+            }
+            table.len()
+        })
+    });
+    group.bench_function("hashtable/single_bucket_contention_10k", |b| {
+        b.iter(|| {
+            // A bucket count so small that every key chains off a handful of
+            // buckets: the contended configuration the lock buffer exists for.
+            let mut table = GpuHashTable::with_capacity(10_000, 0.001);
+            for k in 0..10_000u64 {
+                table.insert_add_host(k % 4_096, 1);
+            }
+            table.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

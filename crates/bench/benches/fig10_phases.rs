@@ -1,0 +1,32 @@
+//! Figure 10 bench: separates the initialization phase from the traversal
+//! phase for both engines.  The full phase-speedup figure is produced by
+//! `cargo run -p bench --bin experiments -- fig10`.
+
+use bench::experiments::{prepare_dataset, run_cell, ExperimentScale, Platform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetId;
+use tadoc::apps::Task;
+
+const SCALE: ExperimentScale = ExperimentScale(0.03);
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_phases");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let platform = &Platform::all()[1]; // Volta
+    for dataset in [DatasetId::A, DatasetId::B] {
+        let prepared = prepare_dataset(dataset, SCALE);
+        for task in [Task::WordCount, Task::TermVector] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cell/{}", task.name()), dataset.label()),
+                &prepared,
+                |b, prepared| b.iter(|| run_cell(prepared, task, platform)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

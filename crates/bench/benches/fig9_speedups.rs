@@ -1,0 +1,49 @@
+//! Figure 9 bench: wall-clock of the two engines whose modelled-time ratio is
+//! the reported speedup.  One Criterion group per engine (TADOC CPU baseline
+//! vs G-TADOC on the simulated GPU) over representative (dataset, task)
+//! cells; the full figure is produced by `cargo run -p bench --bin
+//! experiments -- fig9`.
+
+use bench::experiments::{prepare_dataset, ExperimentScale, Platform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetId;
+use gtadoc::engine::GtadocEngine;
+use tadoc::apps::{run_task, Task, TaskConfig};
+
+const SCALE: ExperimentScale = ExperimentScale(0.03);
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_speedups");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let platform = &Platform::all()[0];
+    for dataset in [DatasetId::B, DatasetId::D] {
+        let prepared = prepare_dataset(dataset, SCALE);
+        for task in [Task::WordCount, Task::SequenceCount] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("tadoc_cpu/{}", task.name()), dataset.label()),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| {
+                        run_task(&prepared.archive, &prepared.dag, task, TaskConfig::default())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("gtadoc_gpu/{}", task.name()), dataset.label()),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| {
+                        let mut engine = GtadocEngine::new(platform.gpu.clone());
+                        engine.run_layout(&prepared.layout, task, None)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table II bench: dataset generation + TADOC compression for every dataset
+//! preset (the quantities of Table II are printed by
+//! `cargo run -p bench --bin experiments -- table2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{DatasetId, DatasetPreset};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_datasets");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for id in DatasetId::ALL {
+        let preset = DatasetPreset::new(id);
+        group.bench_with_input(BenchmarkId::new("generate", id.label()), &preset, |b, p| {
+            b.iter(|| p.generate_scaled(0.03))
+        });
+        let corpus = preset.generate_scaled(0.03);
+        group.bench_with_input(
+            BenchmarkId::new("compress", id.label()),
+            &corpus,
+            |b, corpus| b.iter(|| corpus.compress()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Section VI-C bench: term vector with the top-down and bottom-up traversals
+//! forced, on the dataset-A shape (many small files) and the dataset-B shape
+//! (four large files).  The report is produced by
+//! `cargo run -p bench --bin experiments -- traversal`.
+
+use bench::experiments::{prepare_dataset, ExperimentScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetId;
+use gpu_sim::GpuSpec;
+use gtadoc::engine::GtadocEngine;
+use gtadoc::traversal::TraversalStrategy;
+use tadoc::apps::Task;
+
+const SCALE: ExperimentScale = ExperimentScale(0.03);
+
+fn bench_traversals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal_strategies");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dataset in [DatasetId::A, DatasetId::B] {
+        let prepared = prepare_dataset(dataset, SCALE);
+        for strategy in [TraversalStrategy::TopDown, TraversalStrategy::BottomUp] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("term_vector/{strategy}"), dataset.label()),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| {
+                        let mut engine = GtadocEngine::new(GpuSpec::tesla_v100());
+                        engine.run_layout(&prepared.layout, Task::TermVector, Some(strategy))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversals);
+criterion_main!(benches);

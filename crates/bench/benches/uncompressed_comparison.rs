@@ -1,0 +1,51 @@
+//! Section VI-E bench: G-TADOC versus GPU analytics on the uncompressed
+//! token streams.  The report is produced by
+//! `cargo run -p bench --bin experiments -- uncompressed`.
+
+use bench::experiments::{prepare_dataset, ExperimentScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetId;
+use gpu_sim::GpuSpec;
+use gtadoc::engine::GtadocEngine;
+use tadoc::apps::{Task, TaskConfig};
+use uncompressed::gpu::run_gpu_uncompressed;
+
+const SCALE: ExperimentScale = ExperimentScale(0.03);
+
+fn bench_uncompressed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncompressed_comparison");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let prepared = prepare_dataset(DatasetId::B, SCALE);
+    for task in [Task::WordCount, Task::InvertedIndex, Task::SequenceCount] {
+        group.bench_with_input(
+            BenchmarkId::new("gtadoc", task.name()),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    let mut engine = GtadocEngine::new(GpuSpec::tesla_v100());
+                    engine.run_layout(&prepared.layout, task, None)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gpu_uncompressed", task.name()),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    run_gpu_uncompressed(
+                        GpuSpec::tesla_v100(),
+                        &prepared.corpus.files,
+                        task,
+                        TaskConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncompressed);
+criterion_main!(benches);

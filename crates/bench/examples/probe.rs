@@ -1,0 +1,86 @@
+//! Developer probe: prints the per-kernel profile of one G-TADOC run.
+//! Usage: cargo run -p bench --example probe
+
+use bench::experiments::{prepare_dataset, ExperimentScale};
+use datagen::DatasetId;
+use gpu_sim::GpuSpec;
+use gtadoc::engine::GtadocEngine;
+use tadoc::apps::Task;
+
+fn main() {
+    let prepared = prepare_dataset(DatasetId::B, ExperimentScale(0.05));
+    println!(
+        "dataset B @0.05: files={} tokens={} rules={} elements={} layers={}",
+        prepared.stats.num_files,
+        prepared.stats.total_tokens,
+        prepared.stats.num_rules,
+        prepared.stats.compressed_elements,
+        prepared.layout.num_layers
+    );
+    // Per-rule sequence work distribution.
+    {
+        use gtadoc::sequence::{count_rule_local_sequences, init_head_tail};
+        let mut dev = gpu_sim::Device::new(GpuSpec::tesla_v100());
+        let ht = init_head_tail(&mut dev, &prepared.layout, 3);
+        let mut max_reads = 0u64;
+        let mut max_rule = 0u32;
+        let mut total_reads = 0u64;
+        for r in 1..prepared.layout.num_rules as u32 {
+            let mut ctx = gpu_sim::ThreadCtx::detached();
+            let mut n = 0u64;
+            count_rule_local_sequences(&prepared.layout, &ht, r, &mut ctx, |_| n += 1);
+            let reads = n + prepared.layout.rule_lengths[r as usize] as u64;
+            total_reads += n;
+            if reads > max_reads {
+                max_reads = reads;
+                max_rule = r;
+            }
+        }
+        let mut root_ctx = gpu_sim::ThreadCtx::detached();
+        let mut root_emits = 0u64;
+        gtadoc::sequence::counting::count_root_local_sequences(
+            &prepared.layout,
+            &ht,
+            &mut root_ctx,
+            |_, _| root_emits += 1,
+        );
+        println!(
+            "root: len={} emits={} short_expansion sizes: max={} total={}",
+            prepared.layout.rule_lengths[0],
+            root_emits,
+            ht.short_expansion.iter().flatten().map(|v| v.len()).max().unwrap_or(0),
+            ht.short_expansion.iter().flatten().map(|v| v.len()).sum::<usize>()
+        );
+        println!(
+            "head sizes: max={} ; tail max={} ; heads total={}",
+            ht.head.iter().map(|v| v.len()).max().unwrap_or(0),
+            ht.tail.iter().map(|v| v.len()).max().unwrap_or(0),
+            ht.head.iter().map(|v| v.len()).sum::<usize>()
+        );
+        println!(
+            "max emits+len rule={} ({}), rule_len={}, expanded={}, total emits={}",
+            max_rule,
+            max_reads,
+            prepared.layout.rule_lengths[max_rule as usize],
+            prepared.layout.expanded_lengths[max_rule as usize],
+            total_reads
+        );
+    }
+    for task in [Task::WordCount, Task::SequenceCount] {
+        let mut engine = GtadocEngine::new(GpuSpec::tesla_v100());
+        let exec = engine.run_layout(&prepared.layout, task, None);
+        println!(
+            "\n== {} init={:.6}s traversal={:.6}s launches={}",
+            task.name(),
+            exec.init_seconds,
+            exec.traversal_seconds,
+            exec.kernel_launches
+        );
+        print!("{}", engine.device().profiler().report());
+        for k in engine.device().profiler().kernels() {
+            if k.name == "sequenceTraversalKernel" || k.name == "reduceResultKernel" {
+                println!("{:?}", k.stats);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! G-TADOC evaluation (Section VI), plus the ablation studies for the design
+//! choices of Section IV.  See `EXPERIMENTS.md` at the repository root for
+//! the mapping from paper artefact to harness command, and `DESIGN.md` for
+//! the substitutions made (simulated GPUs, synthetic datasets).
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all --scale 0.3
+//! ```
+
+pub mod experiments;
+
+pub use experiments::{
+    ablation, fig10, fig9, prepare_dataset, summary, table1, table2, traversal_comparison,
+    uncompressed_comparison, CellResult, ExperimentScale, Platform, PreparedDataset,
+};

@@ -1,0 +1,26 @@
+//! GPU implementations of the six CompressDirect analytics tasks.
+//!
+//! Each module wires the shared traversal engines (top-down weights / file
+//! weights, bottom-up accumulated tables, head/tail sequence support) to a
+//! task-specific reduce kernel that merges per-rule contributions into the
+//! thread-safe global result structures.
+
+pub mod inverted_index;
+pub mod ranked_inverted_index;
+pub mod sequence_count;
+pub mod sort;
+pub mod term_vector;
+pub mod word_count;
+
+use crate::hashtable::GpuHashTable;
+use tadoc::results::WordCountResult;
+use tadoc::FxHashMap;
+
+/// Converts a GPU word-count hash table into the shared result type.
+pub(crate) fn word_counts_from_table(table: &GpuHashTable) -> WordCountResult {
+    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+    for (key, value) in table.iter() {
+        counts.insert(key as u32, value);
+    }
+    WordCountResult { counts }
+}

@@ -1,0 +1,424 @@
+//! Thread-safe GPU hash structures (Section IV-C, Figure 5).
+//!
+//! Two structures are provided:
+//!
+//! * [`GpuHashTable`] — the *global* result table with the exact layout of
+//!   Figure 5: a `locks` buffer and an `entries` buffer per bucket, plus
+//!   `keys`, `values` and `next` buffers for chained slots.  Inserts follow
+//!   the flow chart of Figure 8: look up the chain, atomically add when the
+//!   key exists, otherwise take the bucket lock, re-check, append a new slot
+//!   and link it.  When a lock cannot be taken the insert reports failure and
+//!   the caller retries in the next round (on the simulator locks are always
+//!   free, but the code path and the accounting are preserved).
+//! * [`local_table`] — the *private* per-rule tables that live inside the
+//!   G-TADOC memory pool.  As the paper notes, a table owned by a single
+//!   thread needs no locks, so these are compact open-addressing tables laid
+//!   out directly in a pool region.
+
+use gpu_sim::ThreadCtx;
+
+const EMPTY_SLOT: i64 = -1;
+
+/// SplitMix64 finalizer: a full-avalanche mix so that the *low* bits used for
+/// bucket selection depend on every input bit.  (A bare multiplicative hash
+/// leaves the low bits a function of only the low input bits, which makes
+/// packed multi-word sequence keys — identical last word, different prefix —
+/// collide into the same bucket and degenerate into long chains.)
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The global thread-safe hash table of Figure 5.
+#[derive(Debug, Clone)]
+pub struct GpuHashTable {
+    /// Per-bucket lock words (1 = locked, 0 = unlocked).
+    pub locks: Vec<u32>,
+    /// Per-bucket head slot index (-1 = empty).
+    pub entries: Vec<i64>,
+    /// Slot keys.
+    pub keys: Vec<u64>,
+    /// Slot values.
+    pub values: Vec<u64>,
+    /// Slot chain links (-1 = end of chain).
+    pub next: Vec<i64>,
+    slots_used: usize,
+}
+
+impl GpuHashTable {
+    /// Creates a table able to hold `max_keys` distinct keys, with
+    /// `load_factor` buckets per expected key.
+    pub fn with_capacity(max_keys: usize, load_factor: f64) -> Self {
+        let max_keys = max_keys.max(1);
+        let buckets = ((max_keys as f64 * load_factor).ceil() as usize).next_power_of_two();
+        Self {
+            locks: vec![0; buckets],
+            entries: vec![EMPTY_SLOT; buckets],
+            keys: vec![0; max_keys],
+            values: vec![0; max_keys],
+            next: vec![EMPTY_SLOT; max_keys],
+            slots_used: 0,
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.slots_used
+    }
+
+    /// Returns `true` if the table holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.slots_used == 0
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Device-memory footprint in bytes (all five buffers).
+    pub fn size_bytes(&self) -> u64 {
+        (self.locks.len() * 4
+            + self.entries.len() * 8
+            + self.keys.len() * 8
+            + self.values.len() * 8
+            + self.next.len() * 8) as u64
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (mix64(key) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Inserts `key` with `value`, adding to the existing value if the key is
+    /// present, following the Figure 8 flow and accounting every access on
+    /// `ctx`.  Returns `false` when the bucket lock could not be taken (the
+    /// caller must retry in the next traversal round).
+    pub fn insert_add(&mut self, key: u64, value: u64, ctx: &mut ThreadCtx) -> bool {
+        let bucket = self.bucket_of(key);
+        ctx.compute(4);
+        ctx.global_read(8);
+
+        // Walk the chain looking for the key.
+        let mut slot = self.entries[bucket];
+        while slot != EMPTY_SLOT {
+            ctx.global_read(16);
+            if self.keys[slot as usize] == key {
+                // Key exists: a plain atomic add suffices, no lock needed.
+                self.values[slot as usize] += value;
+                ctx.atomic_rmw(0x1_0000_0000 | slot as u64);
+                return true;
+            }
+            slot = self.next[slot as usize];
+        }
+
+        // Key absent: take the bucket lock (atomicCAS 0 → 1).
+        ctx.atomic_rmw(0x2_0000_0000 | bucket as u64);
+        if self.locks[bucket] != 0 {
+            // Lock held by another thread: give up, retry next round.
+            return false;
+        }
+        self.locks[bucket] = 1;
+
+        // Re-check under the lock (another thread may have inserted the key
+        // between the scan and the lock acquisition).
+        let mut slot = self.entries[bucket];
+        let mut tail = EMPTY_SLOT;
+        while slot != EMPTY_SLOT {
+            ctx.global_read(16);
+            if self.keys[slot as usize] == key {
+                self.values[slot as usize] += value;
+                ctx.atomic_rmw(0x1_0000_0000 | slot as u64);
+                self.locks[bucket] = 0;
+                ctx.global_write(4);
+                return true;
+            }
+            tail = slot;
+            slot = self.next[slot as usize];
+        }
+
+        // Obtain a new slot and link it, as in Figure 5 (d).
+        assert!(
+            self.slots_used < self.keys.len(),
+            "GpuHashTable capacity exceeded ({} slots)",
+            self.keys.len()
+        );
+        let new_slot = self.slots_used as i64;
+        self.slots_used += 1;
+        self.keys[new_slot as usize] = key;
+        self.values[new_slot as usize] = value;
+        self.next[new_slot as usize] = EMPTY_SLOT;
+        ctx.global_write(24);
+        if tail == EMPTY_SLOT {
+            self.entries[bucket] = new_slot;
+        } else {
+            self.next[tail as usize] = new_slot;
+        }
+        ctx.global_write(8);
+
+        // Unlock.
+        self.locks[bucket] = 0;
+        ctx.global_write(4);
+        true
+    }
+
+    /// Host-side insert used by tests and result extraction (no accounting).
+    pub fn insert_add_host(&mut self, key: u64, value: u64) {
+        let mut ctx = host_ctx();
+        let ok = self.insert_add(key, value, &mut ctx);
+        debug_assert!(ok);
+    }
+
+    /// Looks up the value stored for `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let bucket = self.bucket_of(key);
+        let mut slot = self.entries[bucket];
+        while slot != EMPTY_SLOT {
+            if self.keys[slot as usize] == key {
+                return Some(self.values[slot as usize]);
+            }
+            slot = self.next[slot as usize];
+        }
+        None
+    }
+
+    /// Iterates over all `(key, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (0..self.slots_used).map(|i| (self.keys[i], self.values[i]))
+    }
+}
+
+/// Creates a throw-away [`ThreadCtx`] for host-side operations (result
+/// extraction and tests); its accounting is discarded.
+pub fn host_ctx() -> ThreadCtx {
+    ThreadCtx::detached()
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed private local tables
+// ---------------------------------------------------------------------------
+
+/// Operations on a per-rule private table stored inside a memory-pool region.
+///
+/// Region layout (in `u32` words): `[capacity, size, key0, val0, key1, val1, …]`
+/// with open addressing (linear probing) over the `capacity` pair slots.
+/// `u32::MAX` marks an empty key slot.
+pub mod local_table {
+    /// Marker for an empty slot.
+    pub const EMPTY_KEY: u32 = u32::MAX;
+    /// Fixed header length in words (capacity, size).
+    pub const HEADER_WORDS: u32 = 2;
+
+    /// Number of `u32` words a table for `max_keys` distinct keys requires.
+    pub fn words_required(max_keys: u32) -> u32 {
+        // 2x slots for a comfortable load factor, 2 words per slot, plus header.
+        HEADER_WORDS + 2 * 2 * max_keys.max(1)
+    }
+
+    /// Initialises a region as an empty table.
+    pub fn init(region: &mut [u32]) {
+        if region.len() < HEADER_WORDS as usize + 2 {
+            if let Some(first) = region.first_mut() {
+                *first = 0;
+            }
+            return;
+        }
+        let capacity = ((region.len() - HEADER_WORDS as usize) / 2) as u32;
+        region[0] = capacity;
+        region[1] = 0;
+        for slot in 0..capacity as usize {
+            region[HEADER_WORDS as usize + 2 * slot] = EMPTY_KEY;
+            region[HEADER_WORDS as usize + 2 * slot + 1] = 0;
+        }
+    }
+
+    /// Adds `count` to `key`'s entry (inserting it if absent).
+    ///
+    /// # Panics
+    /// Panics if the table is full — the bounds computed by
+    /// `genLocTblBoundKernel` guarantee this cannot happen for well-formed
+    /// inputs.
+    pub fn insert_add(region: &mut [u32], key: u32, count: u32) {
+        let capacity = region[0];
+        assert!(capacity > 0, "local table has no capacity");
+        let mut slot = (super::mix64(key as u64) as u32) % capacity;
+        for _ in 0..capacity {
+            let base = (HEADER_WORDS + 2 * slot) as usize;
+            if region[base] == EMPTY_KEY {
+                region[base] = key;
+                region[base + 1] = count;
+                region[1] += 1;
+                return;
+            }
+            if region[base] == key {
+                region[base + 1] += count;
+                return;
+            }
+            slot = (slot + 1) % capacity;
+        }
+        panic!("local table overflow (capacity {capacity})");
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(region: &[u32]) -> u32 {
+        if region.len() < HEADER_WORDS as usize {
+            0
+        } else {
+            region[1]
+        }
+    }
+
+    /// Iterates over `(key, count)` pairs.
+    pub fn iter(region: &[u32]) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let capacity = if region.len() >= HEADER_WORDS as usize {
+            region[0] as usize
+        } else {
+            0
+        };
+        (0..capacity).filter_map(move |slot| {
+            let base = HEADER_WORDS as usize + 2 * slot;
+            if region[base] == EMPTY_KEY {
+                None
+            } else {
+                Some((region[base], region[base + 1]))
+            }
+        })
+    }
+
+    /// Looks up the count stored for `key`.
+    pub fn get(region: &[u32], key: u32) -> Option<u32> {
+        let capacity = region[0];
+        if capacity == 0 {
+            return None;
+        }
+        let mut slot = (super::mix64(key as u64) as u32) % capacity;
+        for _ in 0..capacity {
+            let base = (HEADER_WORDS + 2 * slot) as usize;
+            if region[base] == EMPTY_KEY {
+                return None;
+            }
+            if region[base] == key {
+                return Some(region[base + 1]);
+            }
+            slot = (slot + 1) % capacity;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_and_accumulate() {
+        let mut table = GpuHashTable::with_capacity(100, 2.0);
+        let mut ctx = host_ctx();
+        assert!(table.insert_add(126, 1, &mut ctx));
+        assert!(table.insert_add(163, 1, &mut ctx));
+        assert!(table.insert_add(78, 1, &mut ctx));
+        assert!(table.insert_add(126, 5, &mut ctx));
+        assert_eq!(table.get(126), Some(6));
+        assert_eq!(table.get(163), Some(1));
+        assert_eq!(table.get(78), Some(1));
+        assert_eq!(table.get(999), None);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn chains_handle_many_colliding_keys() {
+        // A small bucket count forces chaining, exercising the `next` buffer
+        // exactly as in Figure 5 (d).
+        let mut table = GpuHashTable::with_capacity(64, 0.1);
+        for k in 0..64u64 {
+            table.insert_add_host(k, k + 1);
+        }
+        assert_eq!(table.len(), 64);
+        for k in 0..64u64 {
+            assert_eq!(table.get(k), Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn iteration_returns_every_pair_once() {
+        let mut table = GpuHashTable::with_capacity(32, 2.0);
+        for k in 0..20u64 {
+            table.insert_add_host(k * 7, 1);
+        }
+        let mut pairs: Vec<(u64, u64)> = table.iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 20);
+        assert!(pairs.iter().all(|&(_, v)| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn exceeding_capacity_panics() {
+        let mut table = GpuHashTable::with_capacity(4, 2.0);
+        for k in 0..5u64 {
+            table.insert_add_host(k, 1);
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let table = GpuHashTable::with_capacity(10, 2.0);
+        assert!(table.size_bytes() > 0);
+        assert!(table.num_buckets().is_power_of_two());
+        assert!(table.is_empty());
+    }
+
+    mod local {
+        use super::super::local_table::*;
+
+        #[test]
+        fn init_insert_get() {
+            let mut region = vec![0u32; words_required(8) as usize];
+            init(&mut region);
+            insert_add(&mut region, 5, 2);
+            insert_add(&mut region, 9, 1);
+            insert_add(&mut region, 5, 3);
+            assert_eq!(get(&region, 5), Some(5));
+            assert_eq!(get(&region, 9), Some(1));
+            assert_eq!(get(&region, 7), None);
+            assert_eq!(len(&region), 2);
+        }
+
+        #[test]
+        fn iter_collects_all_pairs() {
+            let mut region = vec![0u32; words_required(16) as usize];
+            init(&mut region);
+            for k in 0..16u32 {
+                insert_add(&mut region, k * 3, k + 1);
+            }
+            let mut pairs: Vec<(u32, u32)> = iter(&region).collect();
+            pairs.sort_unstable();
+            assert_eq!(pairs.len(), 16);
+            assert_eq!(pairs[0], (0, 1));
+        }
+
+        #[test]
+        fn capacity_bound_is_honoured() {
+            // words_required(n) must always fit n distinct keys.
+            let mut region = vec![0u32; words_required(32) as usize];
+            init(&mut region);
+            for k in 0..32u32 {
+                insert_add(&mut region, 1000 + k, 1);
+            }
+            assert_eq!(len(&region), 32);
+        }
+
+        #[test]
+        fn tiny_region_is_safe() {
+            let mut region = vec![0u32; 1];
+            init(&mut region);
+            assert_eq!(len(&region), 0);
+        }
+    }
+}

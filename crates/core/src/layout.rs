@@ -1,0 +1,392 @@
+//! Flattened device layout of the compressed data.
+//!
+//! GPU kernels cannot chase `Vec<Vec<…>>` pointers; G-TADOC therefore loads
+//! the grammar into flat arrays indexed by rule id with offset tables — the
+//! standard CSR-style layout.  The same layout also records the quantities the
+//! traversal kernels need (in-/out-edge counts, per-rule element counts, root
+//! file segments).
+
+use sequitur::{Dag, RuleId, Symbol, TadocArchive, WordId};
+
+/// Flattened, GPU-friendly view of a [`TadocArchive`].
+#[derive(Debug, Clone)]
+pub struct GpuLayout {
+    /// Number of rules (rule 0 is the root).
+    pub num_rules: usize,
+    /// Number of files.
+    pub num_files: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+
+    /// Encoded symbols of all rule bodies, concatenated.
+    pub elem_data: Vec<u32>,
+    /// `elem_offsets[r] .. elem_offsets[r+1]` is rule `r`'s slice of `elem_data`.
+    pub elem_offsets: Vec<u32>,
+
+    /// Child rule ids (deduplicated), concatenated.
+    pub child_rules: Vec<u32>,
+    /// Occurrence frequency of each child, parallel to `child_rules`.
+    pub child_freqs: Vec<u32>,
+    /// CSR offsets into `child_rules` / `child_freqs`.
+    pub child_offsets: Vec<u32>,
+
+    /// Parent rule ids (deduplicated), concatenated.
+    pub parent_rules: Vec<u32>,
+    /// Occurrence frequency of the rule inside each parent, parallel to `parent_rules`.
+    pub parent_freqs: Vec<u32>,
+    /// CSR offsets into `parent_rules` / `parent_freqs`.
+    pub parent_offsets: Vec<u32>,
+
+    /// Local (direct) words of every rule, concatenated.
+    pub local_words: Vec<u32>,
+    /// Local word in-rule frequencies, parallel to `local_words`.
+    pub local_word_freqs: Vec<u32>,
+    /// CSR offsets into `local_words` / `local_word_freqs`.
+    pub local_word_offsets: Vec<u32>,
+
+    /// `rule.numInEdge` counting all distinct parents.
+    pub num_in_edges: Vec<u32>,
+    /// Distinct parents excluding the root (the quantity Algorithm 1's mask
+    /// initialization uses: rules whose only in-edges come from the root can
+    /// start immediately).
+    pub num_in_edges_excl_root: Vec<u32>,
+    /// Distinct children per rule (`numOutEdge`, used by Algorithm 2).
+    pub num_out_edges: Vec<u32>,
+    /// Number of elements in each rule body.
+    pub rule_lengths: Vec<u32>,
+    /// Number of expanded words each rule covers.
+    pub expanded_lengths: Vec<u64>,
+    /// Frequency of each rule directly inside the root body.
+    pub freq_in_root: Vec<u32>,
+
+    /// Root body ranges per file: `(begin, end, file_id)` element indices into
+    /// the root's slice of `elem_data`.
+    pub root_segments: Vec<(u32, u32, u32)>,
+    /// Number of DAG layers (k in the complexity analysis).
+    pub num_layers: usize,
+}
+
+impl GpuLayout {
+    /// Builds the layout from an archive and its DAG.
+    pub fn build(archive: &TadocArchive, dag: &Dag) -> Self {
+        let grammar = &archive.grammar;
+        let n = dag.num_rules;
+
+        let mut elem_data = Vec::with_capacity(grammar.total_elements());
+        let mut elem_offsets = Vec::with_capacity(n + 1);
+        elem_offsets.push(0u32);
+        for body in &grammar.rules {
+            for sym in body {
+                elem_data.push(sym.encode());
+            }
+            elem_offsets.push(elem_data.len() as u32);
+        }
+
+        let mut child_rules = Vec::new();
+        let mut child_freqs = Vec::new();
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        child_offsets.push(0u32);
+        for r in 0..n {
+            for &(c, f) in &dag.children[r] {
+                child_rules.push(c);
+                child_freqs.push(f);
+            }
+            child_offsets.push(child_rules.len() as u32);
+        }
+
+        let mut parent_rules = Vec::new();
+        let mut parent_freqs = Vec::new();
+        let mut parent_offsets = Vec::with_capacity(n + 1);
+        parent_offsets.push(0u32);
+        let mut num_in_edges_excl_root = vec![0u32; n];
+        for r in 0..n {
+            for &(p, f) in &dag.parents[r] {
+                parent_rules.push(p);
+                parent_freqs.push(f);
+                if p != 0 {
+                    num_in_edges_excl_root[r] += 1;
+                }
+            }
+            parent_offsets.push(parent_rules.len() as u32);
+        }
+
+        let mut local_words = Vec::new();
+        let mut local_word_freqs = Vec::new();
+        let mut local_word_offsets = Vec::with_capacity(n + 1);
+        local_word_offsets.push(0u32);
+        for r in 0..n {
+            for &(w, f) in &dag.local_words[r] {
+                local_words.push(w);
+                local_word_freqs.push(f);
+            }
+            local_word_offsets.push(local_words.len() as u32);
+        }
+
+        let mut freq_in_root = vec![0u32; n];
+        for &(c, f) in &dag.children[0] {
+            freq_in_root[c as usize] = f;
+        }
+
+        // Root segments per file (element index ranges inside the root body).
+        let root = grammar.root();
+        let mut root_segments = Vec::new();
+        let mut start = 0u32;
+        let mut file = 0u32;
+        for (i, sym) in root.iter().enumerate() {
+            if sym.is_splitter() {
+                root_segments.push((start, i as u32, file));
+                start = i as u32 + 1;
+                file += 1;
+            }
+        }
+        root_segments.push((start, root.len() as u32, file));
+
+        Self {
+            num_rules: n,
+            num_files: root_segments.len(),
+            vocab_size: archive.vocabulary_size(),
+            elem_data,
+            elem_offsets,
+            child_rules,
+            child_freqs,
+            child_offsets,
+            parent_rules,
+            parent_freqs,
+            parent_offsets,
+            local_words,
+            local_word_freqs,
+            local_word_offsets,
+            num_in_edges: dag.num_in_edges.clone(),
+            num_in_edges_excl_root,
+            num_out_edges: dag.num_out_edges.clone(),
+            rule_lengths: dag.rule_lengths.clone(),
+            expanded_lengths: grammar.rule_expanded_lengths(),
+            freq_in_root,
+            root_segments,
+            num_layers: dag.num_layers,
+        }
+    }
+
+    /// Rule `r`'s encoded element slice.
+    #[inline]
+    pub fn elements(&self, r: RuleId) -> &[u32] {
+        let a = self.elem_offsets[r as usize] as usize;
+        let b = self.elem_offsets[r as usize + 1] as usize;
+        &self.elem_data[a..b]
+    }
+
+    /// Rule `r`'s `(child, freq)` pairs.
+    #[inline]
+    pub fn children(&self, r: RuleId) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let a = self.child_offsets[r as usize] as usize;
+        let b = self.child_offsets[r as usize + 1] as usize;
+        self.child_rules[a..b]
+            .iter()
+            .copied()
+            .zip(self.child_freqs[a..b].iter().copied())
+    }
+
+    /// Rule `r`'s `(parent, freq)` pairs.
+    #[inline]
+    pub fn parents(&self, r: RuleId) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let a = self.parent_offsets[r as usize] as usize;
+        let b = self.parent_offsets[r as usize + 1] as usize;
+        self.parent_rules[a..b]
+            .iter()
+            .copied()
+            .zip(self.parent_freqs[a..b].iter().copied())
+    }
+
+    /// Rule `r`'s `(word, freq)` local word pairs.
+    #[inline]
+    pub fn local_word_pairs(&self, r: RuleId) -> impl Iterator<Item = (WordId, u32)> + '_ {
+        let a = self.local_word_offsets[r as usize] as usize;
+        let b = self.local_word_offsets[r as usize + 1] as usize;
+        self.local_words[a..b]
+            .iter()
+            .copied()
+            .zip(self.local_word_freqs[a..b].iter().copied())
+    }
+
+    /// Decoded symbols of rule `r` (convenience for host-side code and tests).
+    pub fn decoded_elements(&self, r: RuleId) -> Vec<Symbol> {
+        self.elements(r).iter().map(|&e| Symbol::decode(e)).collect()
+    }
+
+    /// Total size in bytes of the flattened arrays (what would be shipped over
+    /// PCIe when the compressed data does not already reside on the device).
+    pub fn device_bytes(&self) -> u64 {
+        let u32_len = self.elem_data.len()
+            + self.elem_offsets.len()
+            + self.child_rules.len()
+            + self.child_freqs.len()
+            + self.child_offsets.len()
+            + self.parent_rules.len()
+            + self.parent_freqs.len()
+            + self.parent_offsets.len()
+            + self.local_words.len()
+            + self.local_word_freqs.len()
+            + self.local_word_offsets.len()
+            + self.num_in_edges.len()
+            + self.num_in_edges_excl_root.len()
+            + self.num_out_edges.len()
+            + self.rule_lengths.len()
+            + self.freq_in_root.len();
+        (u32_len * 4 + self.expanded_lengths.len() * 8 + self.root_segments.len() * 12) as u64
+    }
+
+    /// Average number of elements per rule.
+    pub fn avg_rule_length(&self) -> f64 {
+        if self.num_rules == 0 {
+            return 0.0;
+        }
+        self.elem_data.len() as f64 / self.num_rules as f64
+    }
+
+    /// Consistency checks between the flattened arrays (used by tests and the
+    /// engine's debug assertions).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.elem_offsets.len() != self.num_rules + 1 {
+            return Err("elem_offsets length mismatch".into());
+        }
+        if *self.elem_offsets.last().unwrap() as usize != self.elem_data.len() {
+            return Err("elem_offsets do not cover elem_data".into());
+        }
+        for r in 0..self.num_rules {
+            let kids = self.child_offsets[r + 1] - self.child_offsets[r];
+            if kids != self.num_out_edges[r] {
+                return Err(format!("rule {r}: child count != numOutEdge"));
+            }
+            let parents = self.parent_offsets[r + 1] - self.parent_offsets[r];
+            if parents != self.num_in_edges[r] {
+                return Err(format!("rule {r}: parent count != numInEdge"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: build both the DAG and the layout from an archive.
+pub fn layout_from_archive(archive: &TadocArchive) -> (Dag, GpuLayout) {
+    let dag = Dag::from_grammar(&archive.grammar);
+    let layout = GpuLayout::build(archive, &dag);
+    (dag, layout)
+}
+
+/// Re-export used by kernels when decoding elements.
+pub use sequitur::symbol::Symbol as ElemSymbol;
+
+/// Helper used throughout the kernels: decode an element, returning either a
+/// word id, a rule id, or `None` for splitters.
+#[inline]
+pub fn decode_elem(raw: u32) -> DecodedElem {
+    match Symbol::decode(raw) {
+        Symbol::Word(w) => DecodedElem::Word(w),
+        Symbol::Rule(r) => DecodedElem::Rule(r),
+        Symbol::Splitter(s) => DecodedElem::Splitter(s),
+    }
+}
+
+/// A decoded element (mirror of [`Symbol`] with plain integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedElem {
+    /// Terminal word.
+    Word(u32),
+    /// Sub-rule reference.
+    Rule(u32),
+    /// File splitter.
+    Splitter(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+
+    fn build() -> (TadocArchive, Dag, GpuLayout) {
+        let corpus = vec![
+            (
+                "fileA".to_string(),
+                "w1 w2 w3 w1 w2 w4 w1 w2 w3 w1 w2 w4".to_string(),
+            ),
+            ("fileB".to_string(), "w1 w2 w1".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let layout = GpuLayout::build(&archive, &dag);
+        (archive, dag, layout)
+    }
+
+    #[test]
+    fn layout_matches_dag_shapes() {
+        let (archive, dag, layout) = build();
+        assert_eq!(layout.num_rules, dag.num_rules);
+        assert_eq!(layout.num_files, 2);
+        assert_eq!(layout.vocab_size, archive.vocabulary_size());
+        layout.validate().expect("layout must be self-consistent");
+        assert_eq!(
+            layout.elem_data.len(),
+            archive.grammar.total_elements()
+        );
+    }
+
+    #[test]
+    fn element_decoding_roundtrips() {
+        let (archive, _dag, layout) = build();
+        for r in 0..layout.num_rules as u32 {
+            assert_eq!(
+                layout.decoded_elements(r),
+                archive.grammar.rules[r as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn children_and_parents_are_consistent() {
+        let (_archive, dag, layout) = build();
+        for r in 0..layout.num_rules as u32 {
+            let kids: Vec<(u32, u32)> = layout.children(r).collect();
+            assert_eq!(kids, dag.children[r as usize]);
+            let parents: Vec<(u32, u32)> = layout.parents(r).collect();
+            assert_eq!(parents, dag.parents[r as usize]);
+            let words: Vec<(u32, u32)> = layout.local_word_pairs(r).collect();
+            assert_eq!(words, dag.local_words[r as usize]);
+        }
+    }
+
+    #[test]
+    fn root_segments_cover_files() {
+        let (_archive, _dag, layout) = build();
+        assert_eq!(layout.root_segments.len(), 2);
+        assert_eq!(layout.root_segments[0].2, 0);
+        assert_eq!(layout.root_segments[1].2, 1);
+        // Segments must be disjoint and ordered.
+        assert!(layout.root_segments[0].1 <= layout.root_segments[1].0);
+    }
+
+    #[test]
+    fn in_edges_excluding_root() {
+        let (_archive, dag, layout) = build();
+        for r in 0..layout.num_rules {
+            let excl: u32 = dag.parents[r].iter().filter(|&&(p, _)| p != 0).count() as u32;
+            assert_eq!(layout.num_in_edges_excl_root[r], excl);
+        }
+    }
+
+    #[test]
+    fn device_bytes_and_avg_length_are_positive() {
+        let (_archive, _dag, layout) = build();
+        assert!(layout.device_bytes() > 0);
+        assert!(layout.avg_rule_length() > 0.0);
+    }
+
+    #[test]
+    fn decode_elem_helper() {
+        assert_eq!(decode_elem(Symbol::Word(3).encode()), DecodedElem::Word(3));
+        assert_eq!(decode_elem(Symbol::Rule(5).encode()), DecodedElem::Rule(5));
+        assert_eq!(
+            decode_elem(Symbol::Splitter(1).encode()),
+            DecodedElem::Splitter(1)
+        );
+    }
+}

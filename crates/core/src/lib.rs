@@ -1,0 +1,39 @@
+//! # gtadoc
+//!
+//! G-TADOC: GPU-based text analytics directly on compression — the paper's
+//! primary contribution, implemented on top of the `gpu-sim` SIMT simulator.
+//!
+//! The crate mirrors the three modules of Figure 3:
+//!
+//! * **Parallel execution engine** ([`traversal`], [`schedule`], [`engine`]):
+//!   fine-grained thread-level workload scheduling (one thread per rule, with
+//!   thread groups for oversized rules), mask/in-edge ordered top-down
+//!   traversal (Algorithm 1), out-edge ordered bottom-up traversal
+//!   (Algorithm 2), and the adaptive strategy selector.
+//! * **Data structures** ([`layout`], [`mempool`], [`hashtable`]): flattened
+//!   device rule arrays, the self-maintained GPU memory pool, and the
+//!   lock/entry/key/value/next thread-safe hash table of Figure 5.
+//! * **Sequence support** ([`sequence`]): per-rule head and tail buffers
+//!   (Figure 6), the light-weight initialization scan (Figure 7), and the
+//!   rule-local sequence counting traversal (Figure 8).
+//!
+//! The six CompressDirect analytics tasks are exposed through
+//! [`engine::GtadocEngine`], which produces exactly the same results as the
+//! CPU baseline in the `tadoc` crate (and the uncompressed oracle), while
+//! recording modelled GPU execution times for the experiment harness.
+
+pub mod apps;
+pub mod engine;
+pub mod hashtable;
+pub mod layout;
+pub mod mempool;
+pub mod params;
+pub mod schedule;
+pub mod sequence;
+pub mod traversal;
+
+pub use engine::{GpuExecution, GtadocEngine};
+pub use layout::GpuLayout;
+pub use params::GtadocParams;
+pub use schedule::ThreadPlan;
+pub use traversal::TraversalStrategy;

@@ -1,0 +1,280 @@
+//! Fine-grained thread-level workload scheduling (Section IV-B, Figure 4 (b)).
+//!
+//! G-TADOC assigns one GPU thread to every rule except the root; rules whose
+//! element count exceeds `threshold ×` the average number of elements per
+//! thread — the root almost always, and occasionally very long shared rules —
+//! receive a *group* of threads that split the rule's elements.  The
+//! alternative *vertical partitioning* design (Figure 4 (a)), which this
+//! module also models for the ablation study, splits the DAG from the root
+//! and lets different threads traverse different parts, re-scanning shared
+//! rules redundantly.
+
+use crate::layout::GpuLayout;
+use crate::params::GtadocParams;
+use sequitur::RuleId;
+
+/// Thread assignment of the fine-grained schedule.
+#[derive(Debug, Clone)]
+pub struct ThreadPlan {
+    /// For every rule: `(first_thread, num_threads)` handling it.
+    pub rule_threads: Vec<(u32, u32)>,
+    /// For every thread: the rule it works on.
+    pub thread_rule: Vec<u32>,
+    /// Total number of threads launched for rule-level kernels.
+    pub total_threads: u32,
+    /// The large-rule threshold in elements that was applied.
+    pub large_rule_elements: u32,
+}
+
+impl ThreadPlan {
+    /// Builds the fine-grained plan: one thread per rule, thread groups for
+    /// rules larger than `threshold × avg_elements_per_rule`.
+    pub fn fine_grained(layout: &GpuLayout, params: &GtadocParams) -> Self {
+        let n = layout.num_rules;
+        let avg = layout.avg_rule_length().max(1.0);
+        let large_rule_elements = (params.large_rule_threshold * avg).ceil().max(1.0) as u32;
+
+        let mut rule_threads = Vec::with_capacity(n);
+        let mut thread_rule = Vec::new();
+        for r in 0..n {
+            let len = layout.rule_lengths[r];
+            let group = if len > large_rule_elements {
+                // Allocate roughly one thread per `avg` elements.
+                ((len as f64 / avg).ceil() as u32).max(2)
+            } else {
+                1
+            };
+            let first = thread_rule.len() as u32;
+            for _ in 0..group {
+                thread_rule.push(r as u32);
+            }
+            rule_threads.push((first, group));
+        }
+        Self {
+            total_threads: thread_rule.len() as u32,
+            rule_threads,
+            thread_rule,
+            large_rule_elements,
+        }
+    }
+
+    /// Number of threads assigned to rule `r`.
+    #[inline]
+    pub fn threads_for(&self, r: RuleId) -> u32 {
+        self.rule_threads[r as usize].1
+    }
+
+    /// The element sub-range of rule `r` that thread-group member
+    /// `member_idx` (0-based within the group) must process.
+    pub fn element_range(&self, layout: &GpuLayout, r: RuleId, member_idx: u32) -> (usize, usize) {
+        let len = layout.rule_lengths[r as usize] as usize;
+        let group = self.threads_for(r) as usize;
+        let per = (len + group - 1) / group.max(1);
+        let start = (member_idx as usize * per).min(len);
+        let end = ((member_idx as usize + 1) * per).min(len);
+        (start, end)
+    }
+
+    /// Imbalance factor of the plan: the largest per-thread element count
+    /// divided by the average.  Lower is better; the fine-grained plan exists
+    /// to keep this low.
+    pub fn imbalance(&self, layout: &GpuLayout) -> f64 {
+        if self.total_threads == 0 {
+            return 1.0;
+        }
+        let mut max_load = 0usize;
+        let mut total = 0usize;
+        for r in 0..layout.num_rules as u32 {
+            let group = self.threads_for(r) as usize;
+            let len = layout.rule_lengths[r as usize] as usize;
+            let per = (len + group - 1) / group.max(1);
+            max_load = max_load.max(per);
+            total += len;
+        }
+        let avg = total as f64 / self.total_threads as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max_load as f64 / avg
+        }
+    }
+}
+
+/// Cost estimate of the rejected vertical-partitioning design (Figure 4 (a)),
+/// used by the ablation benchmark: the DAG is split into `num_partitions`
+/// vertical slices from the root and every partition re-scans all rules
+/// reachable from its root elements, so shared rules are scanned repeatedly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerticalPartitionEstimate {
+    /// Elements scanned summed over all partitions (with redundancy).
+    pub scanned_elements: u64,
+    /// Elements scanned by the fine-grained design (each rule once).
+    pub fine_grained_elements: u64,
+    /// Redundancy factor (`scanned / fine_grained`).
+    pub redundancy: f64,
+}
+
+/// Estimates the redundant work of vertical partitioning with
+/// `num_partitions` slices of the root.
+pub fn vertical_partition_estimate(
+    layout: &GpuLayout,
+    num_partitions: usize,
+) -> VerticalPartitionEstimate {
+    let n = layout.num_rules;
+    let fine: u64 = layout.elem_data.len() as u64;
+    if n == 0 || num_partitions == 0 {
+        return VerticalPartitionEstimate {
+            scanned_elements: fine,
+            fine_grained_elements: fine,
+            redundancy: 1.0,
+        };
+    }
+
+    // Split the root body into contiguous slices.
+    let root_len = layout.rule_lengths[0] as usize;
+    let per = (root_len + num_partitions - 1) / num_partitions.max(1);
+    let mut scanned: u64 = 0;
+    let mut visited = vec![false; n];
+    for p in 0..num_partitions {
+        let start = (p * per).min(root_len);
+        let end = ((p + 1) * per).min(root_len);
+        if start >= end {
+            continue;
+        }
+        // Each partition scans, independently, every rule reachable from its
+        // slice of the root (this is the repeated work the paper rejects).
+        for flag in visited.iter_mut() {
+            *flag = false;
+        }
+        let mut stack: Vec<u32> = Vec::new();
+        for raw in &layout.elements(0)[start..end] {
+            scanned += 1;
+            if let crate::layout::DecodedElem::Rule(c) = crate::layout::decode_elem(*raw) {
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        while let Some(r) = stack.pop() {
+            scanned += layout.rule_lengths[r as usize] as u64;
+            for (c, _) in layout.children(r) {
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    VerticalPartitionEstimate {
+        scanned_elements: scanned,
+        fine_grained_elements: fine,
+        redundancy: scanned as f64 / fine.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout_from_archive;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+    use sequitur::TadocArchive;
+
+    fn build() -> (TadocArchive, GpuLayout) {
+        let shared = "alpha beta gamma delta epsilon zeta eta theta iota kappa ".repeat(30);
+        let corpus: Vec<(String, String)> = (0..6)
+            .map(|i| (format!("f{i}"), format!("{shared} unique{i}")))
+            .collect();
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let (_dag, layout) = layout_from_archive(&archive);
+        (archive, layout)
+    }
+
+    #[test]
+    fn every_rule_gets_at_least_one_thread() {
+        let (_a, layout) = build();
+        let plan = ThreadPlan::fine_grained(&layout, &GtadocParams::default());
+        assert_eq!(plan.rule_threads.len(), layout.num_rules);
+        for r in 0..layout.num_rules as u32 {
+            assert!(plan.threads_for(r) >= 1);
+        }
+        assert_eq!(plan.thread_rule.len() as u32, plan.total_threads);
+    }
+
+    #[test]
+    fn oversized_rules_get_thread_groups() {
+        let (_a, layout) = build();
+        let plan = ThreadPlan::fine_grained(&layout, &GtadocParams::default());
+        // The root of this corpus is much longer than the average rule, so it
+        // must receive a group of threads.
+        let root_len = layout.rule_lengths[0] as f64;
+        if root_len > plan.large_rule_elements as f64 {
+            assert!(plan.threads_for(0) >= 2, "root should get a thread group");
+        }
+        // Thread ranges must cover each rule exactly.
+        for r in 0..layout.num_rules as u32 {
+            let group = plan.threads_for(r);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for m in 0..group {
+                let (s, e) = plan.element_range(&layout, r, m);
+                assert!(s >= prev_end || s == e);
+                covered += e - s;
+                prev_end = prev_end.max(e);
+            }
+            assert_eq!(covered, layout.rule_lengths[r as usize] as usize);
+        }
+    }
+
+    #[test]
+    fn fine_grained_reduces_imbalance_vs_one_thread_per_rule() {
+        let (_a, layout) = build();
+        let fine = ThreadPlan::fine_grained(&layout, &GtadocParams::default());
+        // One-thread-per-rule plan: threshold so large no rule is split.
+        let coarse = ThreadPlan::fine_grained(
+            &layout,
+            &GtadocParams {
+                large_rule_threshold: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        assert!(
+            fine.imbalance(&layout) <= coarse.imbalance(&layout),
+            "thread groups must not worsen imbalance"
+        );
+    }
+
+    #[test]
+    fn vertical_partitioning_scans_redundantly() {
+        let (_a, layout) = build();
+        let est = vertical_partition_estimate(&layout, 8);
+        assert!(est.redundancy >= 1.0);
+        assert_eq!(est.fine_grained_elements, layout.elem_data.len() as u64);
+        // With highly shared rules, 8 partitions should scan the shared rules
+        // several times over.
+        assert!(
+            est.scanned_elements >= est.fine_grained_elements,
+            "vertical partitioning cannot scan fewer elements than fine-grained"
+        );
+    }
+
+    #[test]
+    fn lower_threshold_creates_more_threads() {
+        let (_a, layout) = build();
+        let few = ThreadPlan::fine_grained(
+            &layout,
+            &GtadocParams {
+                large_rule_threshold: 1000.0,
+                ..Default::default()
+            },
+        );
+        let many = ThreadPlan::fine_grained(
+            &layout,
+            &GtadocParams {
+                large_rule_threshold: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(many.total_threads >= few.total_threads);
+    }
+}

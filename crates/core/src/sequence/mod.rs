@@ -1,0 +1,24 @@
+//! Sequence support (Section IV-D).
+//!
+//! Sequence-sensitive tasks (sequence count, ranked inverted index) need the
+//! order of words, including sequences that span rule boundaries.  G-TADOC
+//! replaces TADOC's recursive DFS with a two-phase design:
+//!
+//! 1. an **initialization phase** that fills per-rule *head* and *tail*
+//!    buffers (and full short expansions) with a light-weight bottom-up scan
+//!    (Figures 6 and 7);
+//! 2. a **graph traversal phase** that counts, for every rule, the sequences
+//!    *local* to that rule — windows that cross at least one element boundary
+//!    of the rule's body — using only the head/tail buffers of its sub-rules,
+//!    then scales them by rule weights (global counts) or per-file weights
+//!    (ranked inverted index) and merges them into the thread-safe result
+//!    tables (Figure 8).
+
+pub mod counting;
+pub mod head_tail;
+
+pub use counting::{
+    count_root_chunk_sequences, count_root_local_sequences, count_rule_local_sequences,
+    pack_sequence, root_chunks, unpack_sequence, RootChunk, MAX_PACKED_LEN,
+};
+pub use head_tail::{init_head_tail, HeadTail};

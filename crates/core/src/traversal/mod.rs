@@ -1,0 +1,39 @@
+//! DAG traversal engines (Section IV-B).
+//!
+//! G-TADOC provides a top-down traversal (Algorithm 1), a bottom-up traversal
+//! (Algorithm 2), and the adaptive selector that chooses between them per
+//! task and input (the optimal strategy is input dependent, as the term-vector
+//! example of Section VI-C shows).
+
+pub mod bottom_up;
+pub mod selector;
+pub mod top_down;
+
+/// Which direction the DAG traversal propagates information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraversalStrategy {
+    /// Root → leaves: transmit file/weight information downward (Algorithm 1).
+    TopDown,
+    /// Leaves → root: transmit accumulated local tables upward (Algorithm 2).
+    BottomUp,
+}
+
+impl std::fmt::Display for TraversalStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraversalStrategy::TopDown => write!(f, "top-down"),
+            TraversalStrategy::BottomUp => write!(f, "bottom-up"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TraversalStrategy::TopDown.to_string(), "top-down");
+        assert_eq!(TraversalStrategy::BottomUp.to_string(), "bottom-up");
+    }
+}

@@ -1,0 +1,166 @@
+//! Adaptive traversal-strategy selection.
+//!
+//! As Section VI-C demonstrates with term vector (dataset A strongly prefers
+//! bottom-up, dataset B strongly prefers top-down), the optimal traversal
+//! depends on both the analytics task and the input.  G-TADOC applies the
+//! TADOC strategy selector: it estimates the dominant data-structure traffic
+//! of each direction and picks the cheaper one.
+//!
+//! * Top-down must carry *file information* downward, so its per-rule buffer
+//!   traffic grows with the number of files a rule can belong to.
+//! * Bottom-up must carry *accumulated word tables* upward, so its traffic
+//!   grows with the vocabulary reachable from each rule.
+
+use crate::layout::GpuLayout;
+use crate::traversal::TraversalStrategy;
+use tadoc::Task;
+
+/// Cost estimates (in abstract traffic units) behind a selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyEstimate {
+    /// Estimated traffic of the top-down traversal.
+    pub top_down_cost: f64,
+    /// Estimated traffic of the bottom-up traversal.
+    pub bottom_up_cost: f64,
+    /// The chosen strategy.
+    pub choice: TraversalStrategy,
+}
+
+/// Estimates both traversal directions for `task` on `layout` and returns the
+/// cheaper one.
+pub fn estimate(task: Task, layout: &GpuLayout) -> StrategyEstimate {
+    let num_rules = layout.num_rules.max(1) as f64;
+    let num_files = layout.num_files.max(1) as f64;
+    let elements = layout.elem_data.len().max(1) as f64;
+    let vocab = layout.vocab_size.max(1) as f64;
+
+    // Average distinct words reachable from a rule, conservatively capped by
+    // the vocabulary: the bottom-up tables cost roughly this much per rule.
+    let avg_expanded = (layout
+        .expanded_lengths
+        .iter()
+        .map(|&l| (l as f64).min(vocab))
+        .sum::<f64>()
+        / num_rules)
+        .max(1.0);
+
+    // Average number of files a rule occurs in: the top-down file buffers cost
+    // roughly this much per rule.  Without running the propagation we bound it
+    // by the file count, discounted by how much sharing the grammar exhibits.
+    let sharing = (elements / num_rules).max(1.0);
+    let avg_files_per_rule = num_files.min(sharing).max(1.0);
+
+    let (top_down_cost, bottom_up_cost) = match task {
+        // Weight-only propagation: a single counter per rule beats building
+        // full word tables in every case.
+        Task::WordCount | Task::Sort | Task::SequenceCount => {
+            (elements + num_rules, elements + num_rules * avg_expanded)
+        }
+        // File-sensitive tasks: compare file buffers against word tables.
+        Task::InvertedIndex | Task::TermVector | Task::RankedInvertedIndex => (
+            elements + num_rules * avg_files_per_rule,
+            elements + num_rules * avg_expanded,
+        ),
+    };
+
+    let choice = if top_down_cost <= bottom_up_cost {
+        TraversalStrategy::TopDown
+    } else {
+        TraversalStrategy::BottomUp
+    };
+    StrategyEstimate {
+        top_down_cost,
+        bottom_up_cost,
+        choice,
+    }
+}
+
+/// Picks the traversal strategy for `task` on `layout`.
+pub fn select(task: Task, layout: &GpuLayout) -> TraversalStrategy {
+    estimate(task, layout).choice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::layout_from_archive;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+
+    fn layout_for(corpus: &[(String, String)]) -> GpuLayout {
+        let archive = compress_corpus(corpus, CompressOptions::default());
+        layout_from_archive(&archive).1
+    }
+
+    /// Few files with long shared bodies (the dataset-B shape).
+    fn few_files_layout() -> GpuLayout {
+        let body = "alpha beta gamma delta epsilon zeta eta theta ".repeat(100);
+        layout_for(&[
+            ("a".to_string(), body.clone()),
+            ("b".to_string(), body.clone()),
+            ("c".to_string(), body.clone()),
+            ("d".to_string(), body),
+        ])
+    }
+
+    /// Many small files (the dataset-A shape).
+    fn many_files_layout() -> GpuLayout {
+        let corpus: Vec<(String, String)> = (0..120)
+            .map(|i| {
+                (
+                    format!("f{i}"),
+                    format!("shared preamble text common to every file item{}", i % 7),
+                )
+            })
+            .collect();
+        layout_for(&corpus)
+    }
+
+    #[test]
+    fn weight_only_tasks_prefer_top_down() {
+        let layout = few_files_layout();
+        assert_eq!(select(Task::WordCount, &layout), TraversalStrategy::TopDown);
+        assert_eq!(select(Task::Sort, &layout), TraversalStrategy::TopDown);
+    }
+
+    #[test]
+    fn term_vector_prefers_top_down_with_few_files() {
+        // Mirrors the dataset-B observation of Section VI-C.
+        let layout = few_files_layout();
+        assert_eq!(
+            select(Task::TermVector, &layout),
+            TraversalStrategy::TopDown
+        );
+    }
+
+    #[test]
+    fn estimates_are_positive_and_consistent() {
+        for layout in [few_files_layout(), many_files_layout()] {
+            for task in Task::ALL {
+                let est = estimate(task, &layout);
+                assert!(est.top_down_cost > 0.0);
+                assert!(est.bottom_up_cost > 0.0);
+                let expected = if est.top_down_cost <= est.bottom_up_cost {
+                    TraversalStrategy::TopDown
+                } else {
+                    TraversalStrategy::BottomUp
+                };
+                assert_eq!(est.choice, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn file_sensitive_estimates_grow_with_file_count() {
+        let few = estimate(Task::TermVector, &few_files_layout());
+        let many = estimate(Task::TermVector, &many_files_layout());
+        // The relative attractiveness of top-down must drop as the file count
+        // grows (dataset-A behaviour).
+        let few_ratio = few.top_down_cost / few.bottom_up_cost;
+        let many_ratio = many.top_down_cost / many.bottom_up_cost;
+        assert!(
+            many_ratio >= few_ratio,
+            "top-down must look relatively worse with many files \
+             (few = {few_ratio:.3}, many = {many_ratio:.3})"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # datagen
+//!
+//! Synthetic dataset generators reproducing the *shapes* of the five
+//! evaluation datasets of the paper (Table II):
+//!
+//! | Dataset | Paper source | Shape reproduced here |
+//! |---------|--------------|-----------------------|
+//! | A | NSF Research Award Abstracts | very many small files, moderate vocabulary, strong cross-file redundancy |
+//! | B | 4 Wikipedia web documents | 4 large files with long shared passages |
+//! | C | 50 GB Wikipedia dump | many large files (the "large dataset" configuration: PCIe staging + cluster baseline) |
+//! | D | Yelp COVID-19 reviews | a single small file of short repetitive reviews |
+//! | E | DBLP records | a single large, highly structured file |
+//!
+//! The generators produce word-id token streams plus a synthetic dictionary,
+//! using a Zipfian unigram distribution and a shared sentence pool that
+//! controls cross-file and in-file redundancy (the property TADOC exploits).
+//! Everything is deterministic given the seed.
+
+pub mod corpus;
+pub mod datasets;
+pub mod rng;
+pub mod zipf;
+
+pub use corpus::{CorpusConfig, GeneratedCorpus};
+pub use datasets::{DatasetId, DatasetPreset};
+pub use rng::SplitMix64;
+pub use zipf::Zipf;

@@ -1,0 +1,106 @@
+//! Zipfian word-frequency sampling.
+//!
+//! Natural-language unigram frequencies follow a Zipf distribution; the
+//! generators draw words from `P(rank k) ∝ 1 / k^s` with the classical
+//! exponent `s ≈ 1`.  Sampling uses a precomputed cumulative table plus
+//! binary search, which is fast enough for the corpus sizes used here and
+//! exactly reproducible.
+
+use crate::rng::SplitMix64;
+
+/// A Zipf sampler over ranks `0 .. n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn support(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most frequent.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cumulative table"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_range() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..5_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+        assert_eq!(zipf.support(), 100);
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = SplitMix64::new(5);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let top10: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[500..].iter().sum();
+        assert!(
+            top10 > tail,
+            "the 10 most frequent ranks ({top10}) must outweigh the 500 least frequent ({tail})"
+        );
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let flat = Zipf::new(200, 0.5);
+        let steep = Zipf::new(200, 1.5);
+        let mut rng = SplitMix64::new(8);
+        let head_share = |z: &Zipf, rng: &mut SplitMix64| {
+            let mut head = 0u32;
+            for _ in 0..20_000 {
+                if z.sample(rng) < 5 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let flat_head = head_share(&flat, &mut rng);
+        let steep_head = head_share(&steep, &mut rng);
+        assert!(steep_head > flat_head);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Host ↔ device transfer modelling (PCIe).
+//!
+//! The paper's methodology states that small datasets are assumed resident in
+//! GPU memory while large datasets pay PCIe transfer costs; the experiment
+//! harness uses [`crate::Device::transfer`] to account those costs for the
+//! large-dataset configurations.
+
+/// Direction of a modelled PCIe transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// Host memory → device memory.
+    HostToDevice,
+    /// Device memory → host memory.
+    DeviceToHost,
+}
+
+impl std::fmt::Display for TransferDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferDirection::HostToDevice => write!(f, "H2D"),
+            TransferDirection::DeviceToHost => write!(f, "D2H"),
+        }
+    }
+}
+
+/// A recorded transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Direction of the transfer.
+    pub direction: TransferDirection,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Modelled duration in seconds.
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(TransferDirection::HostToDevice.to_string(), "H2D");
+        assert_eq!(TransferDirection::DeviceToHost.to_string(), "D2H");
+    }
+
+    #[test]
+    fn record_holds_fields() {
+        let r = TransferRecord {
+            direction: TransferDirection::DeviceToHost,
+            bytes: 1024,
+            seconds: 1e-6,
+        };
+        assert_eq!(r.bytes, 1024);
+        assert_eq!(r.direction, TransferDirection::DeviceToHost);
+    }
+}

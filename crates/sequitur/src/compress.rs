@@ -1,0 +1,184 @@
+//! End-to-end TADOC compression: documents → dictionary conversion → splitter
+//! insertion → Sequitur → [`TadocArchive`].
+
+use crate::archive::{FileMeta, TadocArchive};
+use crate::dictionary::Dictionary;
+use crate::sequitur_impl::Sequitur;
+use crate::symbol::MAX_PAYLOAD;
+use crate::tokenizer::{tokenize_into, TokenizerOptions};
+use crate::{Result, WordId};
+use std::path::Path;
+
+/// Options controlling compression.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressOptions {
+    /// Tokenizer behaviour (case folding, punctuation stripping).
+    pub tokenizer: TokenizerOptions,
+}
+
+/// Compresses an in-memory corpus of `(file name, file content)` pairs.
+pub fn compress_corpus(files: &[(String, String)], opts: CompressOptions) -> TadocArchive {
+    let mut dict = Dictionary::new();
+    let mut token_files = Vec::with_capacity(files.len());
+    let mut names = Vec::with_capacity(files.len());
+    let mut byte_sizes = Vec::with_capacity(files.len());
+    for (name, content) in files {
+        token_files.push(tokenize_into(content, &mut dict, opts.tokenizer));
+        names.push(name.clone());
+        byte_sizes.push(content.len() as u64);
+    }
+    compress_token_files(dict, token_files, names, byte_sizes)
+}
+
+/// Compresses files already converted to word-id streams (the path used by the
+/// synthetic dataset generators, which produce token ids directly).
+pub fn compress_token_files(
+    dictionary: Dictionary,
+    token_files: Vec<Vec<WordId>>,
+    names: Vec<String>,
+    original_byte_sizes: Vec<u64>,
+) -> TadocArchive {
+    assert_eq!(token_files.len(), names.len());
+    let vocab = dictionary.len() as u32;
+    assert!(
+        vocab as u64 + token_files.len() as u64 <= MAX_PAYLOAD as u64,
+        "vocabulary plus splitter count exceeds the 30-bit symbol payload"
+    );
+
+    let total_tokens: usize = token_files.iter().map(|f| f.len()).sum();
+    let mut seq = Sequitur::with_capacity(total_tokens + token_files.len());
+    let mut metas = Vec::with_capacity(token_files.len());
+    let n_files = token_files.len();
+    for (i, tokens) in token_files.iter().enumerate() {
+        seq.push_all(tokens);
+        // A unique splitter terminates every file except the last, exactly as
+        // in Figure 1 of the paper (R0: ... spt1 ...).
+        if i + 1 < n_files {
+            seq.push(vocab + i as u32);
+        }
+        let byte_size = original_byte_sizes.get(i).copied().unwrap_or(0);
+        metas.push(FileMeta {
+            name: names[i].clone(),
+            token_count: tokens.len() as u64,
+            byte_size,
+        });
+    }
+    let grammar = seq.into_grammar(vocab);
+    TadocArchive {
+        dictionary,
+        grammar,
+        files: metas,
+    }
+}
+
+/// Reads and compresses files from disk.
+pub fn compress_files<P: AsRef<Path>>(paths: &[P], opts: CompressOptions) -> Result<TadocArchive> {
+    let mut corpus = Vec::with_capacity(paths.len());
+    for p in paths {
+        let p = p.as_ref();
+        let content = std::fs::read_to_string(p)?;
+        let name = p
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        corpus.push((name, content));
+    }
+    Ok(compress_corpus(&corpus, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Vec<(String, String)> {
+        vec![
+            (
+                "fileA".to_string(),
+                "w1 w2 w3 w1 w2 w4 w1 w2 w3 w1 w2 w4".to_string(),
+            ),
+            ("fileB".to_string(), "w1 w2 w1".to_string()),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_compression() {
+        let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
+        assert_eq!(archive.files.len(), 2);
+        let decompressed = archive.decompress_files();
+        assert_eq!(decompressed[0].1, "w1 w2 w3 w1 w2 w4 w1 w2 w3 w1 w2 w4");
+        assert_eq!(decompressed[1].1, "w1 w2 w1");
+        assert_eq!(decompressed[0].0, "fileA");
+    }
+
+    #[test]
+    fn file_metadata_is_preserved() {
+        let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
+        assert_eq!(archive.files[0].token_count, 12);
+        assert_eq!(archive.files[1].token_count, 3);
+        assert_eq!(archive.files[0].name, "fileA");
+        assert!(archive.files[0].byte_size > 0);
+    }
+
+    #[test]
+    fn grammar_validates_and_shares_rules() {
+        let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
+        archive.grammar.validate().expect("grammar must be valid");
+        assert!(
+            archive.grammar.num_rules() >= 2,
+            "redundant corpus should produce shared rules"
+        );
+        assert_eq!(archive.grammar.num_files(), 2);
+    }
+
+    #[test]
+    fn single_file_corpus() {
+        let corpus = vec![("only".to_string(), "a b a b a b".to_string())];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        assert_eq!(archive.grammar.num_files(), 1);
+        assert_eq!(archive.decompress_files()[0].1, "a b a b a b");
+    }
+
+    #[test]
+    fn empty_files_are_handled() {
+        let corpus = vec![
+            ("empty".to_string(), "".to_string()),
+            ("nonempty".to_string(), "x y".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        assert_eq!(archive.files.len(), 2);
+        let files = archive.grammar.expand_files();
+        assert_eq!(files.len(), 2);
+        assert!(files[0].is_empty());
+        assert_eq!(files[1].len(), 2);
+    }
+
+    #[test]
+    fn many_files_share_vocabulary() {
+        let corpus: Vec<(String, String)> = (0..20)
+            .map(|i| (format!("f{i}"), "common words repeated across files".to_string()))
+            .collect();
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        assert_eq!(archive.dictionary.len(), 5);
+        assert_eq!(archive.grammar.num_files(), 20);
+        // Identical files must compress extremely well.
+        assert!(archive.grammar.total_elements() < 20 * 5);
+    }
+
+    #[test]
+    fn compress_token_files_direct_path() {
+        let mut dict = Dictionary::new();
+        for w in ["a", "b", "c"] {
+            dict.intern(w);
+        }
+        let archive = compress_token_files(
+            dict,
+            vec![vec![0, 1, 2, 0, 1, 2], vec![0, 1, 0, 1]],
+            vec!["t0".into(), "t1".into()],
+            vec![11, 7],
+        );
+        let files = archive.grammar.expand_files();
+        assert_eq!(files[0], vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(files[1], vec![0, 1, 0, 1]);
+        assert_eq!(archive.files[1].byte_size, 7);
+    }
+}

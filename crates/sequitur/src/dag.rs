@@ -1,0 +1,231 @@
+//! The rule DAG (Figure 1 (e) of the paper) and the per-rule metadata every
+//! traversal needs: deduplicated child/parent edges with frequencies, local
+//! word tables, DAG layers, and topological orders.
+//!
+//! Both the CPU baseline (`tadoc`) and the GPU implementation (`gtadoc`) build
+//! their working structures from this representation, so the two systems are
+//! guaranteed to interpret the compressed data identically.
+
+use crate::fxhash::FxHashMap;
+use crate::grammar::Grammar;
+use crate::symbol::{RuleId, Symbol, WordId};
+
+/// A directed acyclic graph over grammar rules.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    /// Number of rules (nodes), root included.
+    pub num_rules: usize,
+    /// For each rule, its distinct sub-rules with occurrence frequencies
+    /// (`rule.subRules` in Algorithm 1).
+    pub children: Vec<Vec<(RuleId, u32)>>,
+    /// For each rule, its distinct parents with occurrence frequencies.
+    pub parents: Vec<Vec<(RuleId, u32)>>,
+    /// `rule.numInEdge`: number of distinct parent rules.
+    pub num_in_edges: Vec<u32>,
+    /// Number of distinct child rules (used by the bottom-up traversal).
+    pub num_out_edges: Vec<u32>,
+    /// Local word table of each rule: distinct terminal words that appear
+    /// directly in the rule body, with their in-body frequencies.
+    pub local_words: Vec<Vec<(WordId, u32)>>,
+    /// Number of elements (symbols) in each rule body.
+    pub rule_lengths: Vec<u32>,
+    /// DAG layer of each rule (root = 0, children of root = 1, ...), taking the
+    /// longest path from the root so dependencies always span layers upward.
+    pub layers: Vec<u32>,
+    /// Number of layers `k` in the DAG (max layer + 1).
+    pub num_layers: usize,
+    /// Rules ordered children-first (leaves before parents).
+    pub topo_children_first: Vec<RuleId>,
+}
+
+impl Dag {
+    /// Builds the DAG and all per-rule metadata from a grammar.
+    pub fn from_grammar(grammar: &Grammar) -> Self {
+        let n = grammar.num_rules();
+        let mut children: Vec<Vec<(RuleId, u32)>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<(RuleId, u32)>> = vec![Vec::new(); n];
+        let mut local_words: Vec<Vec<(WordId, u32)>> = vec![Vec::new(); n];
+        let mut rule_lengths = vec![0u32; n];
+
+        for (i, body) in grammar.rules.iter().enumerate() {
+            rule_lengths[i] = body.len() as u32;
+            let mut child_freq: FxHashMap<RuleId, u32> = FxHashMap::default();
+            let mut word_freq: FxHashMap<WordId, u32> = FxHashMap::default();
+            for sym in body {
+                match *sym {
+                    Symbol::Rule(r) => *child_freq.entry(r).or_insert(0) += 1,
+                    Symbol::Word(w) => *word_freq.entry(w).or_insert(0) += 1,
+                    Symbol::Splitter(_) => {}
+                }
+            }
+            let mut kids: Vec<(RuleId, u32)> = child_freq.into_iter().collect();
+            kids.sort_unstable();
+            for &(c, f) in &kids {
+                parents[c as usize].push((i as RuleId, f));
+            }
+            children[i] = kids;
+            let mut words: Vec<(WordId, u32)> = word_freq.into_iter().collect();
+            words.sort_unstable();
+            local_words[i] = words;
+        }
+
+        let num_in_edges: Vec<u32> = parents.iter().map(|p| p.len() as u32).collect();
+        let num_out_edges: Vec<u32> = children.iter().map(|c| c.len() as u32).collect();
+
+        // Layers: longest path from root, computed over a parents-first order.
+        let topo_children_first = grammar.topological_order_children_first();
+        let mut layers = vec![0u32; n];
+        for &r in topo_children_first.iter().rev() {
+            let layer = layers[r as usize];
+            for &(c, _) in &children[r as usize] {
+                if layers[c as usize] < layer + 1 {
+                    layers[c as usize] = layer + 1;
+                }
+            }
+        }
+        let num_layers = layers.iter().copied().max().unwrap_or(0) as usize + 1;
+
+        Self {
+            num_rules: n,
+            children,
+            parents,
+            num_in_edges,
+            num_out_edges,
+            local_words,
+            rule_lengths,
+            layers,
+            num_layers,
+            topo_children_first,
+        }
+    }
+
+    /// Rules directly referenced by the root ("level-2 nodes" in the paper).
+    pub fn level2_nodes(&self) -> Vec<RuleId> {
+        self.children[0].iter().map(|&(c, _)| c).collect()
+    }
+
+    /// Leaves: rules with no sub-rules.
+    pub fn leaves(&self) -> Vec<RuleId> {
+        (0..self.num_rules as u32)
+            .filter(|&r| self.children[r as usize].is_empty())
+            .collect()
+    }
+
+    /// Rules whose only parent is the root (starting set of the top-down
+    /// traversal after mask initialization).
+    pub fn root_only_rules(&self) -> Vec<RuleId> {
+        (1..self.num_rules as u32)
+            .filter(|&r| {
+                let p = &self.parents[r as usize];
+                p.len() == 1 && p[0].0 == 0
+            })
+            .collect()
+    }
+
+    /// Total number of (deduplicated) edges in the DAG.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(|c| c.len()).sum()
+    }
+
+    /// Average number of elements per rule body.
+    pub fn avg_rule_length(&self) -> f64 {
+        if self.num_rules == 0 {
+            return 0.0;
+        }
+        self.rule_lengths.iter().map(|&l| l as u64).sum::<u64>() as f64 / self.num_rules as f64
+    }
+
+    /// Number of "dependent middle-layer nodes": rules that are neither the
+    /// root nor leaves (the quantity the paper reports averaging 450,704 per
+    /// file to motivate the parallelism challenge).
+    pub fn middle_layer_nodes(&self) -> usize {
+        (1..self.num_rules)
+            .filter(|&r| !self.children[r].is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_grammar() -> Grammar {
+        Grammar::new(vec![
+            vec![
+                Symbol::Rule(1),
+                Symbol::Rule(1),
+                Symbol::Splitter(0),
+                Symbol::Rule(2),
+                Symbol::Word(1),
+            ],
+            vec![
+                Symbol::Rule(2),
+                Symbol::Word(3),
+                Symbol::Rule(2),
+                Symbol::Word(4),
+            ],
+            vec![Symbol::Word(1), Symbol::Word(2)],
+        ])
+    }
+
+    #[test]
+    fn children_with_frequencies() {
+        let dag = Dag::from_grammar(&paper_grammar());
+        assert_eq!(dag.children[0], vec![(1, 2), (2, 1)]);
+        assert_eq!(dag.children[1], vec![(2, 2)]);
+        assert!(dag.children[2].is_empty());
+    }
+
+    #[test]
+    fn parents_mirror_children() {
+        let dag = Dag::from_grammar(&paper_grammar());
+        assert_eq!(dag.parents[1], vec![(0, 2)]);
+        assert_eq!(dag.parents[2], vec![(0, 1), (1, 2)]);
+        assert_eq!(dag.num_in_edges, vec![0, 1, 2]);
+        assert_eq!(dag.num_out_edges, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn local_word_tables() {
+        let dag = Dag::from_grammar(&paper_grammar());
+        assert_eq!(dag.local_words[0], vec![(1, 1)]);
+        assert_eq!(dag.local_words[1], vec![(3, 1), (4, 1)]);
+        assert_eq!(dag.local_words[2], vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn layers_and_level2() {
+        let dag = Dag::from_grammar(&paper_grammar());
+        assert_eq!(dag.layers[0], 0);
+        assert_eq!(dag.layers[1], 1);
+        assert_eq!(dag.layers[2], 2, "R2 is reachable through R1, so layer 2");
+        assert_eq!(dag.num_layers, 3);
+        assert_eq!(dag.level2_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn leaves_and_root_only() {
+        let dag = Dag::from_grammar(&paper_grammar());
+        assert_eq!(dag.leaves(), vec![2]);
+        assert_eq!(dag.root_only_rules(), vec![1]);
+        assert_eq!(dag.middle_layer_nodes(), 1);
+    }
+
+    #[test]
+    fn edge_and_length_statistics() {
+        let dag = Dag::from_grammar(&paper_grammar());
+        assert_eq!(dag.num_edges(), 3);
+        assert_eq!(dag.rule_lengths, vec![5, 4, 2]);
+        assert!((dag.avg_rule_length() - 11.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rule_grammar() {
+        let g = Grammar::new(vec![vec![Symbol::Word(0), Symbol::Word(0)]]);
+        let dag = Dag::from_grammar(&g);
+        assert_eq!(dag.num_rules, 1);
+        assert_eq!(dag.num_layers, 1);
+        assert_eq!(dag.leaves(), vec![0]);
+        assert_eq!(dag.local_words[0], vec![(0, 2)]);
+    }
+}

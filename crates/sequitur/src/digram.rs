@@ -1,0 +1,131 @@
+//! Digram index used by the Sequitur algorithm.
+//!
+//! A *digram* is a pair of adjacent symbols.  Sequitur's *digram uniqueness*
+//! invariant states that no digram appears more than once in the grammar; the
+//! index maps each digram to the arena node where its (single) indexed
+//! occurrence starts.
+
+use crate::fxhash::FxHashMap;
+
+/// Internal working symbol of the Sequitur construction.
+///
+/// Terminals carry the token id produced by dictionary conversion (word ids
+/// and splitter ids share one numeric space during construction); non-terminals
+/// carry an internal rule slot index.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Sym {
+    /// A terminal token (word or splitter).
+    Term(u32),
+    /// A non-terminal referencing an internal rule slot.
+    NonTerm(u32),
+}
+
+/// A digram: two adjacent working symbols.
+pub type Digram = (Sym, Sym);
+
+/// Index from digram to the arena node id of its recorded occurrence.
+#[derive(Default, Debug)]
+pub struct DigramIndex {
+    map: FxHashMap<Digram, u32>,
+}
+
+impl DigramIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an index pre-sized for roughly `n` digrams.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// Returns the node at which `d` is recorded, if any.
+    #[inline]
+    pub fn get(&self, d: &Digram) -> Option<u32> {
+        self.map.get(d).copied()
+    }
+
+    /// Records digram `d` as occurring at `node`, overwriting any previous
+    /// record.
+    #[inline]
+    pub fn insert(&mut self, d: Digram, node: u32) {
+        self.map.insert(d, node);
+    }
+
+    /// Removes the record for `d` only if it currently points at `node`.
+    ///
+    /// This is the deletion discipline Sequitur requires: a node being
+    /// unlinked must not clobber a record that has already been re-pointed at
+    /// a different occurrence.
+    #[inline]
+    pub fn remove_if_at(&mut self, d: &Digram, node: u32) {
+        if self.map.get(d) == Some(&node) {
+            self.map.remove(d);
+        }
+    }
+
+    /// Number of recorded digrams.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no digram is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all recorded digrams (used by invariant checks in tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&Digram, &u32)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(a: u32, b: u32) -> Digram {
+        (Sym::Term(a), Sym::Term(b))
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = DigramIndex::new();
+        assert!(idx.is_empty());
+        idx.insert(d(1, 2), 7);
+        assert_eq!(idx.get(&d(1, 2)), Some(7));
+        assert_eq!(idx.get(&d(2, 1)), None);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_if_at_only_removes_matching_node() {
+        let mut idx = DigramIndex::new();
+        idx.insert(d(1, 2), 7);
+        idx.remove_if_at(&d(1, 2), 9);
+        assert_eq!(idx.get(&d(1, 2)), Some(7), "non-matching node must not remove");
+        idx.remove_if_at(&d(1, 2), 7);
+        assert_eq!(idx.get(&d(1, 2)), None);
+    }
+
+    #[test]
+    fn nonterminal_and_terminal_digrams_are_distinct() {
+        let mut idx = DigramIndex::new();
+        idx.insert((Sym::Term(5), Sym::Term(6)), 1);
+        idx.insert((Sym::NonTerm(5), Sym::Term(6)), 2);
+        assert_eq!(idx.get(&(Sym::Term(5), Sym::Term(6))), Some(1));
+        assert_eq!(idx.get(&(Sym::NonTerm(5), Sym::Term(6))), Some(2));
+    }
+
+    #[test]
+    fn overwrite_updates_position() {
+        let mut idx = DigramIndex::new();
+        idx.insert(d(3, 4), 1);
+        idx.insert(d(3, 4), 2);
+        assert_eq!(idx.get(&d(3, 4)), Some(2));
+        assert_eq!(idx.len(), 1);
+    }
+}

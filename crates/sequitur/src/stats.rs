@@ -1,0 +1,144 @@
+//! Archive statistics — the quantities reported in Table II of the paper
+//! (size, file count, rule count, vocabulary size) plus compression ratios.
+
+use crate::archive::TadocArchive;
+use crate::dag::Dag;
+
+/// Summary statistics of a compressed archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveStats {
+    /// Original (uncompressed) corpus size in bytes.
+    pub original_bytes: u64,
+    /// Serialized compressed size in bytes.
+    pub compressed_bytes: u64,
+    /// Number of input files.
+    pub num_files: usize,
+    /// Number of grammar rules (the paper's "Rule #").
+    pub num_rules: usize,
+    /// Number of distinct words (the paper's "Vocabulary Size").
+    pub vocabulary_size: usize,
+    /// Total tokens in the original corpus.
+    pub total_tokens: u64,
+    /// Total symbols across all rule bodies.
+    pub compressed_elements: usize,
+    /// Number of DAG edges (deduplicated parent→child).
+    pub dag_edges: usize,
+    /// Number of DAG layers.
+    pub dag_layers: usize,
+    /// Dependent middle-layer nodes (non-root, non-leaf rules).
+    pub middle_layer_nodes: usize,
+}
+
+impl ArchiveStats {
+    /// Computes statistics for `archive`.
+    pub fn compute(archive: &TadocArchive) -> Self {
+        let dag = Dag::from_grammar(&archive.grammar);
+        Self::compute_with_dag(archive, &dag)
+    }
+
+    /// Computes statistics reusing an already-built DAG.
+    pub fn compute_with_dag(archive: &TadocArchive, dag: &Dag) -> Self {
+        Self {
+            original_bytes: archive.original_size_bytes(),
+            compressed_bytes: archive.compressed_size_bytes() as u64,
+            num_files: archive.num_files(),
+            num_rules: archive.grammar.num_rules(),
+            vocabulary_size: archive.vocabulary_size(),
+            total_tokens: archive.files.iter().map(|f| f.token_count).sum(),
+            compressed_elements: archive.grammar.total_elements(),
+            dag_edges: dag.num_edges(),
+            dag_layers: dag.num_layers,
+            middle_layer_nodes: dag.middle_layer_nodes(),
+        }
+    }
+
+    /// Space saving as a fraction of the original size (0.908 means 90.8%
+    /// storage saved, the figure the TADOC papers report for their corpora).
+    pub fn space_saving(&self) -> f64 {
+        if self.original_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.compressed_bytes as f64 / self.original_bytes as f64
+    }
+
+    /// Ratio of original tokens to compressed elements (the computation-reuse
+    /// factor TADOC exploits).
+    pub fn token_reduction(&self) -> f64 {
+        if self.compressed_elements == 0 {
+            return 0.0;
+        }
+        self.total_tokens as f64 / self.compressed_elements as f64
+    }
+}
+
+impl std::fmt::Display for ArchiveStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "original size     : {} bytes", self.original_bytes)?;
+        writeln!(f, "compressed size   : {} bytes", self.compressed_bytes)?;
+        writeln!(f, "files             : {}", self.num_files)?;
+        writeln!(f, "rules             : {}", self.num_rules)?;
+        writeln!(f, "vocabulary        : {}", self.vocabulary_size)?;
+        writeln!(f, "tokens            : {}", self.total_tokens)?;
+        writeln!(f, "compressed elems  : {}", self.compressed_elements)?;
+        writeln!(f, "dag edges         : {}", self.dag_edges)?;
+        writeln!(f, "dag layers        : {}", self.dag_layers)?;
+        writeln!(f, "middle-layer nodes: {}", self.middle_layer_nodes)?;
+        write!(f, "space saving      : {:.1}%", self.space_saving() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress_corpus, CompressOptions};
+
+    fn redundant_archive() -> TadocArchive {
+        let paragraph = "alpha beta gamma delta epsilon zeta eta theta ".repeat(50);
+        let files: Vec<(String, String)> = (0..8)
+            .map(|i| (format!("doc{i}.txt"), paragraph.clone()))
+            .collect();
+        compress_corpus(&files, CompressOptions::default())
+    }
+
+    #[test]
+    fn stats_fields_are_consistent() {
+        let archive = redundant_archive();
+        let stats = ArchiveStats::compute(&archive);
+        assert_eq!(stats.num_files, 8);
+        assert_eq!(stats.vocabulary_size, 8);
+        assert_eq!(stats.total_tokens, 8 * 50 * 8);
+        assert_eq!(stats.num_rules, archive.grammar.num_rules());
+        assert!(stats.dag_layers >= 1);
+    }
+
+    #[test]
+    fn redundant_corpus_saves_space() {
+        let stats = ArchiveStats::compute(&redundant_archive());
+        assert!(
+            stats.space_saving() > 0.5,
+            "highly redundant corpus should save >50% space, saved {:.1}%",
+            stats.space_saving() * 100.0
+        );
+        assert!(stats.token_reduction() > 4.0);
+    }
+
+    #[test]
+    fn display_renders_all_lines() {
+        let stats = ArchiveStats::compute(&redundant_archive());
+        let text = stats.to_string();
+        assert!(text.contains("rules"));
+        assert!(text.contains("space saving"));
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let archive = compress_corpus(
+            &[("empty".to_string(), String::new())],
+            CompressOptions::default(),
+        );
+        let stats = ArchiveStats::compute(&archive);
+        assert_eq!(stats.total_tokens, 0);
+        assert_eq!(stats.space_saving(), 0.0);
+        assert_eq!(stats.token_reduction(), 0.0);
+    }
+}

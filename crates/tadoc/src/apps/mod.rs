@@ -1,0 +1,223 @@
+//! The six CompressDirect analytics tasks executed directly on compressed
+//! data (CPU baseline).
+//!
+//! Every task is split into the two phases the paper measures (Figure 10):
+//! *initialization* (data-structure preparation and light-weight scanning) and
+//! *DAG traversal* (the analytics proper plus result merging).
+
+pub mod inverted_index;
+pub mod ranked_inverted_index;
+pub mod sequence_count;
+pub mod sort;
+pub mod term_vector;
+pub mod word_count;
+
+use crate::results::AnalyticsOutput;
+use crate::timing::PhaseTimings;
+use sequitur::{Dag, TadocArchive};
+
+/// The six analytics tasks exposed by the CompressDirect interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Total frequency of every word.
+    WordCount,
+    /// Words ranked by total frequency.
+    Sort,
+    /// Word → files containing it.
+    InvertedIndex,
+    /// Per-file word-frequency vectors.
+    TermVector,
+    /// Global counts of every `l`-word sequence.
+    SequenceCount,
+    /// `l`-word sequence → files ranked by in-file frequency.
+    RankedInvertedIndex,
+}
+
+impl Task {
+    /// All six tasks in the order the paper lists them.
+    pub const ALL: [Task; 6] = [
+        Task::WordCount,
+        Task::Sort,
+        Task::InvertedIndex,
+        Task::TermVector,
+        Task::SequenceCount,
+        Task::RankedInvertedIndex,
+    ];
+
+    /// The task name as it appears in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::WordCount => "wordCount",
+            Task::Sort => "sort",
+            Task::InvertedIndex => "invertedIndex",
+            Task::TermVector => "termVector",
+            Task::SequenceCount => "sequenceCount",
+            Task::RankedInvertedIndex => "rankedInvertedIndex",
+        }
+    }
+
+    /// Whether the task requires word-sequence (ordering) information.
+    pub fn is_sequence_sensitive(self) -> bool {
+        matches!(self, Task::SequenceCount | Task::RankedInvertedIndex)
+    }
+
+    /// Whether the task attributes results to individual files.
+    pub fn needs_file_info(self) -> bool {
+        matches!(
+            self,
+            Task::InvertedIndex | Task::TermVector | Task::RankedInvertedIndex
+        )
+    }
+
+    /// Parses a task from its paper-style name.
+    pub fn from_name(name: &str) -> Option<Task> {
+        Task::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+/// Per-task configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskConfig {
+    /// Sequence length `l` for sequence-sensitive tasks (3 in the paper's
+    /// "counting three continuous word sequences" example).
+    pub sequence_length: usize,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        Self { sequence_length: 3 }
+    }
+}
+
+/// Output plus timing of one task execution.
+#[derive(Debug, Clone)]
+pub struct TaskExecution {
+    /// The analytics result.
+    pub output: AnalyticsOutput,
+    /// Phase timings and work accounting.
+    pub timings: PhaseTimings,
+}
+
+/// Runs `task` sequentially on compressed data (the TADOC baseline).
+pub fn run_task(
+    archive: &TadocArchive,
+    dag: &Dag,
+    task: Task,
+    cfg: TaskConfig,
+) -> TaskExecution {
+    match task {
+        Task::WordCount => {
+            let (r, t) = word_count::run(archive, dag);
+            TaskExecution {
+                output: AnalyticsOutput::WordCount(r),
+                timings: t,
+            }
+        }
+        Task::Sort => {
+            let (r, t) = sort::run(archive, dag);
+            TaskExecution {
+                output: AnalyticsOutput::Sort(r),
+                timings: t,
+            }
+        }
+        Task::InvertedIndex => {
+            let (r, t) = inverted_index::run(archive, dag);
+            TaskExecution {
+                output: AnalyticsOutput::InvertedIndex(r),
+                timings: t,
+            }
+        }
+        Task::TermVector => {
+            let (r, t) = term_vector::run(archive, dag);
+            TaskExecution {
+                output: AnalyticsOutput::TermVector(r),
+                timings: t,
+            }
+        }
+        Task::SequenceCount => {
+            let (r, t) = sequence_count::run(archive, dag, cfg.sequence_length);
+            TaskExecution {
+                output: AnalyticsOutput::SequenceCount(r),
+                timings: t,
+            }
+        }
+        Task::RankedInvertedIndex => {
+            let (r, t) = ranked_inverted_index::run(archive, dag, cfg.sequence_length);
+            TaskExecution {
+                output: AnalyticsOutput::RankedInvertedIndex(r),
+                timings: t,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+
+    fn archive() -> (TadocArchive, Dag) {
+        let corpus = vec![
+            (
+                "a".to_string(),
+                "the cat sat on the mat the cat sat on the rug".to_string(),
+            ),
+            ("b".to_string(), "the dog sat on the mat".to_string()),
+            ("c".to_string(), "the cat sat on the mat the cat sat on the rug".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        (archive, dag)
+    }
+
+    #[test]
+    fn task_metadata() {
+        assert_eq!(Task::ALL.len(), 6);
+        assert!(Task::SequenceCount.is_sequence_sensitive());
+        assert!(!Task::WordCount.is_sequence_sensitive());
+        assert!(Task::TermVector.needs_file_info());
+        assert!(!Task::Sort.needs_file_info());
+        assert_eq!(Task::from_name("sort"), Some(Task::Sort));
+        assert_eq!(Task::from_name("bogus"), None);
+        assert_eq!(Task::RankedInvertedIndex.name(), "rankedInvertedIndex");
+    }
+
+    #[test]
+    fn default_sequence_length_is_three() {
+        assert_eq!(TaskConfig::default().sequence_length, 3);
+    }
+
+    #[test]
+    fn every_task_matches_the_oracle() {
+        let (archive, dag) = archive();
+        let files = archive.grammar.expand_files();
+        let cfg = TaskConfig::default();
+        for task in Task::ALL {
+            let exec = run_task(&archive, &dag, task, cfg);
+            let expected = match task {
+                Task::WordCount => AnalyticsOutput::WordCount(oracle::word_count(&files)),
+                Task::Sort => AnalyticsOutput::Sort(oracle::sort(&files)),
+                Task::InvertedIndex => {
+                    AnalyticsOutput::InvertedIndex(oracle::inverted_index(&files))
+                }
+                Task::TermVector => AnalyticsOutput::TermVector(oracle::term_vector(&files)),
+                Task::SequenceCount => AnalyticsOutput::SequenceCount(oracle::sequence_count(
+                    &files,
+                    cfg.sequence_length,
+                )),
+                Task::RankedInvertedIndex => AnalyticsOutput::RankedInvertedIndex(
+                    oracle::ranked_inverted_index(&files, cfg.sequence_length),
+                ),
+            };
+            assert_eq!(exec.output, expected, "task {} diverges from oracle", task.name());
+        }
+    }
+
+    #[test]
+    fn timings_record_work() {
+        let (archive, dag) = archive();
+        let exec = run_task(&archive, &dag, Task::WordCount, TaskConfig::default());
+        assert!(exec.timings.traversal_work.total_ops() > 0);
+    }
+}

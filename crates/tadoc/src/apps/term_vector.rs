@@ -1,0 +1,158 @@
+//! *term vector* on compressed data: per-file word-frequency vectors computed
+//! from per-rule local word tables weighted by per-file rule occurrences.
+
+use crate::results::{FileId, TermVectorResult};
+use crate::timing::{PhaseTimings, Timer, WorkStats};
+use crate::weights::{file_segments, file_weights};
+use sequitur::fxhash::FxHashMap;
+use sequitur::{Dag, Symbol, TadocArchive, WordId};
+
+/// Runs term vector sequentially on compressed data.
+pub fn run(archive: &TadocArchive, dag: &Dag) -> (TermVectorResult, PhaseTimings) {
+    let grammar = &archive.grammar;
+    let num_files = archive.num_files().max(grammar.num_files());
+
+    // Phase 1: initialization — per-file accumulators and file weights.
+    let init_timer = Timer::start();
+    let mut init_work = WorkStats::default();
+    let segments = file_segments(grammar);
+    let fw = file_weights(grammar, dag, &mut init_work);
+    let mut acc: Vec<FxHashMap<WordId, u64>> = vec![FxHashMap::default(); num_files];
+    init_work.bytes_moved += num_files as u64 * 48;
+    let init = init_timer.elapsed();
+
+    // Phase 2: traversal.
+    let trav_timer = Timer::start();
+    let mut trav_work = WorkStats::default();
+
+    // Root words attributed to their segment's file.
+    let root = grammar.root();
+    for (fid, &(start, end)) in segments.iter().enumerate() {
+        for sym in &root[start..end] {
+            trav_work.elements_scanned += 1;
+            if let Symbol::Word(w) = *sym {
+                *acc[fid].entry(w).or_insert(0) += 1;
+                trav_work.table_ops += 1;
+            }
+        }
+    }
+
+    // Rule-local words scaled by the rule's per-file occurrence counts.
+    for r in 1..dag.num_rules {
+        if fw[r].is_empty() {
+            continue;
+        }
+        for &(w, c) in &dag.local_words[r] {
+            for (&f, &occurrences) in &fw[r] {
+                *acc[f as usize].entry(w).or_insert(0) += c as u64 * occurrences;
+                trav_work.table_ops += 1;
+            }
+        }
+        trav_work.elements_scanned += dag.rule_lengths[r] as u64;
+    }
+
+    let vectors: Vec<Vec<(WordId, u64)>> = acc
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(WordId, u64)> = m.into_iter().collect();
+            v.sort_unstable();
+            trav_work.bytes_moved += v.len() as u64 * 12;
+            v
+        })
+        .collect();
+    let traversal = trav_timer.elapsed();
+
+    (
+        TermVectorResult { vectors },
+        PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work: trav_work,
+        },
+    )
+}
+
+/// Helper shared with the coarse-grained parallel runner: the term vector of a
+/// single file.
+pub fn term_vector_for_file(
+    grammar: &sequitur::Grammar,
+    dag: &Dag,
+    fw: &[FxHashMap<FileId, u64>],
+    file: FileId,
+) -> Vec<(WordId, u64)> {
+    let segments = file_segments(grammar);
+    let mut acc: FxHashMap<WordId, u64> = FxHashMap::default();
+    if let Some(&(start, end)) = segments.get(file as usize) {
+        for sym in &grammar.root()[start..end] {
+            if let Symbol::Word(w) = *sym {
+                *acc.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    for r in 1..dag.num_rules {
+        if let Some(&occ) = fw[r].get(&file) {
+            for &(w, c) in &dag.local_words[r] {
+                *acc.entry(w).or_insert(0) += c as u64 * occ;
+            }
+        }
+    }
+    let mut v: Vec<(WordId, u64)> = acc.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+
+    #[test]
+    fn matches_oracle() {
+        let corpus = vec![
+            ("a".to_string(), "red green blue red green red".to_string()),
+            ("b".to_string(), "red green blue red green red yellow".to_string()),
+            ("c".to_string(), "yellow yellow".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let (result, _) = run(&archive, &dag);
+        let expected = oracle::term_vector(&archive.grammar.expand_files());
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn per_file_frequencies_are_attributed_correctly() {
+        let corpus = vec![
+            ("a".to_string(), "apple apple banana".to_string()),
+            ("b".to_string(), "banana banana banana".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let (result, _) = run(&archive, &dag);
+        let apple = archive.dictionary.get("apple").unwrap();
+        let banana = archive.dictionary.get("banana").unwrap();
+        assert_eq!(result.frequency(0, apple), 2);
+        assert_eq!(result.frequency(0, banana), 1);
+        assert_eq!(result.frequency(1, apple), 0);
+        assert_eq!(result.frequency(1, banana), 3);
+    }
+
+    #[test]
+    fn single_file_helper_matches_full_run() {
+        let corpus = vec![
+            ("a".to_string(), "one two three one two one".to_string()),
+            ("b".to_string(), "three three one".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let (full, _) = run(&archive, &dag);
+        let mut work = WorkStats::default();
+        let fw = file_weights(&archive.grammar, &dag, &mut work);
+        for f in 0..archive.num_files() as FileId {
+            let single = term_vector_for_file(&archive.grammar, &dag, &fw, f);
+            assert_eq!(single, full.vectors[f as usize], "file {f}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Ground-truth oracle: every analytics task computed directly on the
+//! decompressed token streams.
+//!
+//! The oracle is deliberately the most straightforward possible
+//! implementation; it is used (a) to validate both TADOC and G-TADOC in tests
+//! and (b) as the CPU *uncompressed* baseline of Section VI-E.
+
+use crate::results::*;
+use sequitur::fxhash::FxHashMap;
+use sequitur::WordId;
+
+/// Word count over per-file token streams.
+pub fn word_count(files: &[Vec<WordId>]) -> WordCountResult {
+    let mut counts: FxHashMap<WordId, u64> = FxHashMap::default();
+    for file in files {
+        for &w in file {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    WordCountResult { counts }
+}
+
+/// Words ranked by global frequency.
+pub fn sort(files: &[Vec<WordId>]) -> SortResult {
+    SortResult::from_word_count(&word_count(files))
+}
+
+/// Word → files containing it.
+pub fn inverted_index(files: &[Vec<WordId>]) -> InvertedIndexResult {
+    let mut postings: FxHashMap<WordId, Vec<FileId>> = FxHashMap::default();
+    for (fid, file) in files.iter().enumerate() {
+        let mut seen: Vec<WordId> = file.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        for w in seen {
+            postings.entry(w).or_default().push(fid as FileId);
+        }
+    }
+    // Files were visited in ascending order, so each posting list is sorted.
+    InvertedIndexResult { postings }
+}
+
+/// Per-file word-frequency vectors.
+pub fn term_vector(files: &[Vec<WordId>]) -> TermVectorResult {
+    let vectors = files
+        .iter()
+        .map(|file| {
+            let mut counts: FxHashMap<WordId, u64> = FxHashMap::default();
+            for &w in file {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+            let mut v: Vec<(WordId, u64)> = counts.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    TermVectorResult { vectors }
+}
+
+/// Global counts of every `l`-word consecutive sequence.
+pub fn sequence_count(files: &[Vec<WordId>], l: usize) -> SequenceCountResult {
+    assert!(l >= 1, "sequence length must be at least 1");
+    let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
+    for file in files {
+        if file.len() < l {
+            continue;
+        }
+        for window in file.windows(l) {
+            *counts.entry(window.to_vec()).or_insert(0) += 1;
+        }
+    }
+    SequenceCountResult { l, counts }
+}
+
+/// Every `l`-word sequence → files ranked by in-file frequency.
+pub fn ranked_inverted_index(files: &[Vec<WordId>], l: usize) -> RankedInvertedIndexResult {
+    assert!(l >= 1, "sequence length must be at least 1");
+    let mut per_seq: FxHashMap<Sequence, FxHashMap<FileId, u64>> = FxHashMap::default();
+    for (fid, file) in files.iter().enumerate() {
+        if file.len() < l {
+            continue;
+        }
+        for window in file.windows(l) {
+            *per_seq
+                .entry(window.to_vec())
+                .or_default()
+                .entry(fid as FileId)
+                .or_insert(0) += 1;
+        }
+    }
+    let postings = per_seq
+        .into_iter()
+        .map(|(seq, files)| {
+            let mut ranked: Vec<(FileId, u64)> = files.into_iter().collect();
+            ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            (seq, ranked)
+        })
+        .collect();
+    RankedInvertedIndexResult { l, postings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1's corpus: fileA = w1 w2 w3 w1 w2 w4 ×2, fileB = w1 w2 w1.
+    fn paper_files() -> Vec<Vec<WordId>> {
+        vec![vec![1, 2, 3, 1, 2, 4, 1, 2, 3, 1, 2, 4], vec![1, 2, 1]]
+    }
+
+    #[test]
+    fn word_count_matches_figure_2() {
+        let wc = word_count(&paper_files());
+        // Paper Figure 2 final result: <w1,6>, <w2,5>, <w3,2>, <w4,2>
+        assert_eq!(wc.counts[&1], 6);
+        assert_eq!(wc.counts[&2], 5);
+        assert_eq!(wc.counts[&3], 2);
+        assert_eq!(wc.counts[&4], 2);
+        assert_eq!(wc.distinct_words(), 4);
+    }
+
+    #[test]
+    fn sort_ranks_w1_first() {
+        let s = sort(&paper_files());
+        assert_eq!(s.ranked[0], (1, 6));
+        assert_eq!(s.ranked[1], (2, 5));
+    }
+
+    #[test]
+    fn inverted_index_paper_corpus() {
+        let idx = inverted_index(&paper_files());
+        assert_eq!(idx.files_for(3), &[0]);
+        assert_eq!(idx.files_for(1), &[0, 1]);
+        assert_eq!(idx.files_for(4), &[0]);
+    }
+
+    #[test]
+    fn term_vector_paper_corpus() {
+        let tv = term_vector(&paper_files());
+        assert_eq!(tv.frequency(0, 1), 4);
+        assert_eq!(tv.frequency(1, 1), 2);
+        assert_eq!(tv.frequency(1, 3), 0);
+    }
+
+    #[test]
+    fn sequence_count_windows() {
+        let sc = sequence_count(&paper_files(), 3);
+        // fileA has windows: (1,2,3)x2 (2,3,1)x2 ... ; fileB has (1,2,1).
+        assert_eq!(sc.counts[&vec![1, 2, 3]], 2);
+        assert_eq!(sc.counts[&vec![1, 2, 1]], 1);
+        assert_eq!(sc.counts[&vec![1, 2, 4]], 2);
+        let total: u64 = sc.total_occurrences();
+        assert_eq!(total, (12 - 2) + (3 - 2));
+    }
+
+    #[test]
+    fn sequence_count_short_files_are_skipped() {
+        let sc = sequence_count(&[vec![1, 2], vec![5]], 3);
+        assert!(sc.counts.is_empty());
+    }
+
+    #[test]
+    fn ranked_inverted_index_ranks_by_count() {
+        let files = vec![vec![1, 2, 1, 2], vec![1, 2, 9, 1, 2, 9, 1, 2]];
+        let rii = ranked_inverted_index(&files, 2);
+        // (1,2) occurs 2x in file0 and 3x in file1 → file1 first.
+        assert_eq!(rii.files_for(&[1, 2]), &[(1, 3), (0, 2)]);
+    }
+
+    #[test]
+    fn ranked_inverted_index_tie_breaks_by_file_id() {
+        let files = vec![vec![1, 2, 3], vec![1, 2, 3]];
+        let rii = ranked_inverted_index(&files, 3);
+        assert_eq!(rii.files_for(&[1, 2, 3]), &[(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn unit_length_sequences_reduce_to_word_count() {
+        let files = paper_files();
+        let sc = sequence_count(&files, 1);
+        let wc = word_count(&files);
+        assert_eq!(sc.counts[&vec![1]], wc.counts[&1]);
+        assert_eq!(sc.counts.len(), wc.counts.len());
+    }
+}

@@ -1,0 +1,350 @@
+//! Result types of the six CompressDirect analytics tasks.
+//!
+//! The same types are produced by the CPU baseline (`tadoc`), by G-TADOC
+//! (`gtadoc`), and by the uncompressed baselines, which makes cross-checking
+//! the three implementations trivial.
+
+use sequitur::fxhash::FxHashMap;
+use sequitur::WordId;
+
+/// A fixed-length word sequence (the key of sequence-sensitive tasks).
+pub type Sequence = Vec<WordId>;
+/// File identifier (index into the archive's file list).
+pub type FileId = u32;
+
+/// *word count*: total frequency of every word across the corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WordCountResult {
+    /// word → total occurrences.
+    pub counts: FxHashMap<WordId, u64>,
+}
+
+impl WordCountResult {
+    /// Total number of word occurrences (sums all counts).
+    pub fn total_occurrences(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct words observed.
+    pub fn distinct_words(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Converts into a deterministic sorted vector (by word id).
+    pub fn to_sorted_vec(&self) -> Vec<(WordId, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&w, &c)| (w, c)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// *sort*: words ranked by total frequency (descending, ties by word id).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortResult {
+    /// `(word, frequency)` in rank order.
+    pub ranked: Vec<(WordId, u64)>,
+}
+
+impl SortResult {
+    /// Builds the ranking from a word-count result.
+    pub fn from_word_count(wc: &WordCountResult) -> Self {
+        let mut ranked: Vec<_> = wc.counts.iter().map(|(&w, &c)| (w, c)).collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self { ranked }
+    }
+
+    /// The `k` most frequent words.
+    pub fn top_k(&self, k: usize) -> &[(WordId, u64)] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+}
+
+/// *inverted index*: word → sorted list of files containing it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvertedIndexResult {
+    /// word → ascending file ids.
+    pub postings: FxHashMap<WordId, Vec<FileId>>,
+}
+
+impl InvertedIndexResult {
+    /// Number of indexed words.
+    pub fn distinct_words(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total posting-list entries.
+    pub fn total_postings(&self) -> usize {
+        self.postings.values().map(|p| p.len()).sum()
+    }
+
+    /// Files containing `word` (empty slice if absent).
+    pub fn files_for(&self, word: WordId) -> &[FileId] {
+        self.postings.get(&word).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// *term vector*: per-file word-frequency vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermVectorResult {
+    /// `vectors[file]` = ascending `(word, count)` pairs.
+    pub vectors: Vec<Vec<(WordId, u64)>>,
+}
+
+impl TermVectorResult {
+    /// Number of files covered.
+    pub fn num_files(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Frequency of `word` in `file` (0 if absent).
+    pub fn frequency(&self, file: FileId, word: WordId) -> u64 {
+        self.vectors
+            .get(file as usize)
+            .and_then(|v| v.binary_search_by_key(&word, |&(w, _)| w).ok().map(|i| v[i].1))
+            .unwrap_or(0)
+    }
+}
+
+/// *sequence count*: global frequency of every `l`-word consecutive sequence
+/// (sequences never span file boundaries).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequenceCountResult {
+    /// Sequence length `l`.
+    pub l: usize,
+    /// sequence → total occurrences.
+    pub counts: FxHashMap<Sequence, u64>,
+}
+
+impl SequenceCountResult {
+    /// Number of distinct sequences.
+    pub fn distinct_sequences(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total sequence occurrences.
+    pub fn total_occurrences(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+/// *ranked inverted index*: every `l`-word sequence → files containing it,
+/// ranked by in-file frequency (descending, ties by file id).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankedInvertedIndexResult {
+    /// Sequence length `l`.
+    pub l: usize,
+    /// sequence → `(file, count)` in rank order.
+    pub postings: FxHashMap<Sequence, Vec<(FileId, u64)>>,
+}
+
+impl RankedInvertedIndexResult {
+    /// Number of indexed sequences.
+    pub fn distinct_sequences(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The ranked posting list for `seq` (empty if absent).
+    pub fn files_for(&self, seq: &[WordId]) -> &[(FileId, u64)] {
+        self.postings.get(seq).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Output of any of the six tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyticsOutput {
+    /// Word count output.
+    WordCount(WordCountResult),
+    /// Sort output.
+    Sort(SortResult),
+    /// Inverted index output.
+    InvertedIndex(InvertedIndexResult),
+    /// Term vector output.
+    TermVector(TermVectorResult),
+    /// Sequence count output.
+    SequenceCount(SequenceCountResult),
+    /// Ranked inverted index output.
+    RankedInvertedIndex(RankedInvertedIndexResult),
+}
+
+impl AnalyticsOutput {
+    /// Short task name for reports.
+    pub fn task_name(&self) -> &'static str {
+        match self {
+            AnalyticsOutput::WordCount(_) => "wordCount",
+            AnalyticsOutput::Sort(_) => "sort",
+            AnalyticsOutput::InvertedIndex(_) => "invertedIndex",
+            AnalyticsOutput::TermVector(_) => "termVector",
+            AnalyticsOutput::SequenceCount(_) => "sequenceCount",
+            AnalyticsOutput::RankedInvertedIndex(_) => "rankedInvertedIndex",
+        }
+    }
+
+    /// Returns a small deterministic digest of the output, useful for quick
+    /// equality checks in benchmarks without holding two full results.
+    pub fn digest(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(27)
+        }
+        match self {
+            AnalyticsOutput::WordCount(r) => {
+                let mut h = 1u64;
+                for (w, c) in r.to_sorted_vec() {
+                    h = mix(h, (w as u64) << 32 | c & 0xffff_ffff);
+                    h = mix(h, c);
+                }
+                h
+            }
+            AnalyticsOutput::Sort(r) => {
+                let mut h = 2u64;
+                for &(w, c) in &r.ranked {
+                    h = mix(h, w as u64);
+                    h = mix(h, c);
+                }
+                h
+            }
+            AnalyticsOutput::InvertedIndex(r) => {
+                let mut keys: Vec<_> = r.postings.keys().copied().collect();
+                keys.sort_unstable();
+                let mut h = 3u64;
+                for w in keys {
+                    h = mix(h, w as u64);
+                    for &f in &r.postings[&w] {
+                        h = mix(h, f as u64);
+                    }
+                }
+                h
+            }
+            AnalyticsOutput::TermVector(r) => {
+                let mut h = 4u64;
+                for v in &r.vectors {
+                    for &(w, c) in v {
+                        h = mix(h, w as u64);
+                        h = mix(h, c);
+                    }
+                    h = mix(h, 0xfeed);
+                }
+                h
+            }
+            AnalyticsOutput::SequenceCount(r) => {
+                let mut keys: Vec<_> = r.counts.keys().cloned().collect();
+                keys.sort_unstable();
+                let mut h = 5u64;
+                for k in keys {
+                    for &w in &k {
+                        h = mix(h, w as u64);
+                    }
+                    h = mix(h, r.counts[&k]);
+                }
+                h
+            }
+            AnalyticsOutput::RankedInvertedIndex(r) => {
+                let mut keys: Vec<_> = r.postings.keys().cloned().collect();
+                keys.sort_unstable();
+                let mut h = 6u64;
+                for k in keys {
+                    for &w in &k {
+                        h = mix(h, w as u64);
+                    }
+                    for &(f, c) in &r.postings[&k] {
+                        h = mix(h, f as u64);
+                        h = mix(h, c);
+                    }
+                }
+                h
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wc(pairs: &[(u32, u64)]) -> WordCountResult {
+        let mut counts = FxHashMap::default();
+        for &(w, c) in pairs {
+            counts.insert(w, c);
+        }
+        WordCountResult { counts }
+    }
+
+    #[test]
+    fn word_count_accessors() {
+        let r = wc(&[(0, 5), (1, 3), (2, 1)]);
+        assert_eq!(r.total_occurrences(), 9);
+        assert_eq!(r.distinct_words(), 3);
+        assert_eq!(r.to_sorted_vec(), vec![(0, 5), (1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn sort_ranks_by_frequency_then_word() {
+        let r = SortResult::from_word_count(&wc(&[(5, 3), (1, 7), (2, 3)]));
+        assert_eq!(r.ranked, vec![(1, 7), (2, 3), (5, 3)]);
+        assert_eq!(r.top_k(2), &[(1, 7), (2, 3)]);
+        assert_eq!(r.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn inverted_index_lookup() {
+        let mut postings = FxHashMap::default();
+        postings.insert(3u32, vec![0u32, 2, 5]);
+        let r = InvertedIndexResult { postings };
+        assert_eq!(r.files_for(3), &[0, 2, 5]);
+        assert_eq!(r.files_for(9), &[] as &[u32]);
+        assert_eq!(r.total_postings(), 3);
+        assert_eq!(r.distinct_words(), 1);
+    }
+
+    #[test]
+    fn term_vector_frequency_lookup() {
+        let r = TermVectorResult {
+            vectors: vec![vec![(1, 4), (7, 2)], vec![]],
+        };
+        assert_eq!(r.frequency(0, 7), 2);
+        assert_eq!(r.frequency(0, 2), 0);
+        assert_eq!(r.frequency(1, 1), 0);
+        assert_eq!(r.frequency(9, 1), 0);
+        assert_eq!(r.num_files(), 2);
+    }
+
+    #[test]
+    fn sequence_count_accessors() {
+        let mut counts = FxHashMap::default();
+        counts.insert(vec![1, 2, 3], 4u64);
+        counts.insert(vec![2, 3, 4], 1u64);
+        let r = SequenceCountResult { l: 3, counts };
+        assert_eq!(r.distinct_sequences(), 2);
+        assert_eq!(r.total_occurrences(), 5);
+    }
+
+    #[test]
+    fn ranked_inverted_index_lookup() {
+        let mut postings = FxHashMap::default();
+        postings.insert(vec![1, 2], vec![(3u32, 9u64), (0, 2)]);
+        let r = RankedInvertedIndexResult { l: 2, postings };
+        assert_eq!(r.files_for(&[1, 2]), &[(3, 9), (0, 2)]);
+        assert!(r.files_for(&[9, 9]).is_empty());
+        assert_eq!(r.distinct_sequences(), 1);
+    }
+
+    #[test]
+    fn digests_distinguish_different_results() {
+        let a = AnalyticsOutput::WordCount(wc(&[(0, 1), (1, 2)]));
+        let b = AnalyticsOutput::WordCount(wc(&[(0, 1), (1, 3)]));
+        let c = AnalyticsOutput::WordCount(wc(&[(0, 1), (1, 2)]));
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn task_names() {
+        assert_eq!(
+            AnalyticsOutput::Sort(SortResult::default()).task_name(),
+            "sort"
+        );
+        assert_eq!(
+            AnalyticsOutput::SequenceCount(SequenceCountResult::default()).task_name(),
+            "sequenceCount"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Phase timing and abstract work accounting.
+//!
+//! TADOC and G-TADOC both split execution into an *initialization* phase
+//! (data-structure preparation, light-weight scanning) and a *graph traversal*
+//! phase (the analytics proper); Figure 10 of the paper reports speedups per
+//! phase.  Besides wall-clock, every phase also records [`WorkStats`] —
+//! abstract operation counts that feed the platform cost models so the
+//! experiment harness can estimate execution time on the paper's hardware
+//! rather than on whatever machine happens to run this reproduction.
+
+use std::time::{Duration, Instant};
+
+/// Abstract operation counts accumulated while executing a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Grammar elements (symbols) visited.
+    pub elements_scanned: u64,
+    /// Hash/word-table operations (insert, merge, lookup-update).
+    pub table_ops: u64,
+    /// Words materialized into output or intermediate streams.
+    pub words_emitted: u64,
+    /// Bytes read or written from main data structures.
+    pub bytes_moved: u64,
+    /// Synchronization operations (atomic updates, lock acquisitions).
+    pub sync_ops: u64,
+}
+
+impl WorkStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &WorkStats) {
+        self.elements_scanned += other.elements_scanned;
+        self.table_ops += other.table_ops;
+        self.words_emitted += other.words_emitted;
+        self.bytes_moved += other.bytes_moved;
+        self.sync_ops += other.sync_ops;
+    }
+
+    /// Total abstract operations (used by simple throughput models).
+    pub fn total_ops(&self) -> u64 {
+        self.elements_scanned + self.table_ops + self.words_emitted + self.sync_ops
+    }
+}
+
+/// Wall-clock and work accounting for the two execution phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Initialization phase duration.
+    pub init: Duration,
+    /// DAG traversal phase duration.
+    pub traversal: Duration,
+    /// Work performed during initialization.
+    pub init_work: WorkStats,
+    /// Work performed during traversal.
+    pub traversal_work: WorkStats,
+}
+
+impl PhaseTimings {
+    /// Total duration of both phases.
+    pub fn total(&self) -> Duration {
+        self.init + self.traversal
+    }
+
+    /// Combined work of both phases.
+    pub fn total_work(&self) -> WorkStats {
+        let mut w = self.init_work;
+        w.merge(&self.traversal_work);
+        w
+    }
+}
+
+/// A simple scope timer.
+#[derive(Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a timer.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the timer started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_stats_merge_and_total() {
+        let mut a = WorkStats {
+            elements_scanned: 10,
+            table_ops: 5,
+            words_emitted: 2,
+            bytes_moved: 100,
+            sync_ops: 1,
+        };
+        let b = WorkStats {
+            elements_scanned: 1,
+            table_ops: 1,
+            words_emitted: 1,
+            bytes_moved: 1,
+            sync_ops: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.elements_scanned, 11);
+        assert_eq!(a.bytes_moved, 101);
+        assert_eq!(a.total_ops(), 11 + 6 + 3 + 2);
+    }
+
+    #[test]
+    fn phase_timings_total() {
+        let t = PhaseTimings {
+            init: Duration::from_millis(10),
+            traversal: Duration::from_millis(25),
+            ..Default::default()
+        };
+        assert_eq!(t.total(), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn timer_measures_elapsed_time() {
+        let t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn total_work_combines_phases() {
+        let t = PhaseTimings {
+            init_work: WorkStats {
+                elements_scanned: 3,
+                ..Default::default()
+            },
+            traversal_work: WorkStats {
+                elements_scanned: 4,
+                table_ops: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let w = t.total_work();
+        assert_eq!(w.elements_scanned, 7);
+        assert_eq!(w.table_ops, 2);
+    }
+}

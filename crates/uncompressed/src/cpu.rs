@@ -1,0 +1,92 @@
+//! CPU analytics on uncompressed token streams.
+//!
+//! Work accounting mirrors the quantities the cost models consume: every
+//! token is scanned and (for counting tasks) causes one table operation, so
+//! the estimated time is proportional to the *uncompressed* size — the cost
+//! TADOC and G-TADOC avoid by reusing repeated content.
+
+use sequitur::WordId;
+use tadoc::apps::{Task, TaskConfig};
+use tadoc::oracle;
+use tadoc::results::AnalyticsOutput;
+use tadoc::timing::{PhaseTimings, Timer, WorkStats};
+
+/// Runs `task` directly on the uncompressed per-file token streams.
+pub fn run_cpu_uncompressed(
+    files: &[Vec<WordId>],
+    task: Task,
+    cfg: TaskConfig,
+) -> (AnalyticsOutput, PhaseTimings) {
+    let total_tokens: u64 = files.iter().map(|f| f.len() as u64).sum();
+
+    let init_timer = Timer::start();
+    let init_work = WorkStats {
+        elements_scanned: files.len() as u64,
+        bytes_moved: total_tokens * 4,
+        ..Default::default()
+    };
+    let init = init_timer.elapsed();
+
+    let trav_timer = Timer::start();
+    let output = match task {
+        Task::WordCount => AnalyticsOutput::WordCount(oracle::word_count(files)),
+        Task::Sort => AnalyticsOutput::Sort(oracle::sort(files)),
+        Task::InvertedIndex => AnalyticsOutput::InvertedIndex(oracle::inverted_index(files)),
+        Task::TermVector => AnalyticsOutput::TermVector(oracle::term_vector(files)),
+        Task::SequenceCount => {
+            AnalyticsOutput::SequenceCount(oracle::sequence_count(files, cfg.sequence_length))
+        }
+        Task::RankedInvertedIndex => AnalyticsOutput::RankedInvertedIndex(
+            oracle::ranked_inverted_index(files, cfg.sequence_length),
+        ),
+    };
+    let traversal = trav_timer.elapsed();
+
+    let traversal_work = WorkStats {
+        elements_scanned: total_tokens,
+        table_ops: total_tokens,
+        words_emitted: total_tokens,
+        bytes_moved: total_tokens * 8,
+        ..Default::default()
+    };
+
+    (
+        output,
+        PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files() -> Vec<Vec<WordId>> {
+        vec![vec![1, 2, 3, 1, 2, 4, 1, 2, 3, 1, 2, 4], vec![1, 2, 1]]
+    }
+
+    #[test]
+    fn produces_oracle_outputs_for_all_tasks() {
+        for task in Task::ALL {
+            let (out, timings) = run_cpu_uncompressed(&files(), task, TaskConfig::default());
+            assert_eq!(out.task_name(), task.name());
+            assert_eq!(timings.traversal_work.table_ops, 15);
+        }
+    }
+
+    #[test]
+    fn word_count_values_are_correct() {
+        let (out, _) = run_cpu_uncompressed(&files(), Task::WordCount, TaskConfig::default());
+        match out {
+            AnalyticsOutput::WordCount(wc) => {
+                assert_eq!(wc.counts[&1], 6);
+                assert_eq!(wc.counts[&2], 5);
+            }
+            _ => panic!("wrong output variant"),
+        }
+    }
+}

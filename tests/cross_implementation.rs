@@ -1,0 +1,148 @@
+//! Cross-implementation integration tests: for every analytics task, the
+//! uncompressed oracle, sequential CPU TADOC, coarse-grained parallel TADOC,
+//! and G-TADOC (both traversal strategies where applicable, on all three GPU
+//! presets) must produce identical results.
+
+use g_tadoc_repro::prelude::*;
+use gtadoc::traversal::TraversalStrategy;
+use tadoc::parallel::{run_task_parallel, ParallelConfig};
+
+fn corpora() -> Vec<(&'static str, Vec<(String, String)>)> {
+    let shared = "the quick brown fox jumps over the lazy dog and the cat watches ".repeat(8);
+    vec![
+        (
+            "figure1",
+            vec![
+                (
+                    "fileA".to_string(),
+                    "w1 w2 w3 w1 w2 w4 w1 w2 w3 w1 w2 w4".to_string(),
+                ),
+                ("fileB".to_string(), "w1 w2 w1".to_string()),
+            ],
+        ),
+        (
+            "redundant_multi_file",
+            (0..6)
+                .map(|i| (format!("doc{i}"), format!("{shared} unique token{i} {shared}")))
+                .collect(),
+        ),
+        (
+            "single_file",
+            vec![("only".to_string(), format!("{shared} {shared} coda"))],
+        ),
+        (
+            "no_redundancy",
+            vec![
+                ("a".to_string(), "one two three four five six".to_string()),
+                ("b".to_string(), "seven eight nine ten eleven".to_string()),
+            ],
+        ),
+        (
+            "empty_and_tiny_files",
+            vec![
+                ("empty".to_string(), String::new()),
+                ("tiny".to_string(), "x".to_string()),
+                ("normal".to_string(), "x y z x y z x y".to_string()),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn all_implementations_agree_on_all_tasks() {
+    for (name, corpus) in corpora() {
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let files = archive.grammar.expand_files();
+        let cfg = TaskConfig::default();
+        let mut engine = GtadocEngine::new(GpuSpec::gtx_1080());
+
+        for task in Task::ALL {
+            let (oracle_out, _) = uncompressed::cpu::run_cpu_uncompressed(&files, task, cfg);
+            let cpu = run_task(&archive, &dag, task, cfg);
+            assert_eq!(cpu.output, oracle_out, "[{name}] CPU TADOC vs oracle on {}", task.name());
+
+            let parallel = run_task_parallel(
+                &archive,
+                &dag,
+                task,
+                cfg,
+                ParallelConfig { num_threads: 3 },
+            );
+            assert_eq!(
+                parallel.output,
+                oracle_out,
+                "[{name}] parallel TADOC vs oracle on {}",
+                task.name()
+            );
+
+            let gpu = engine.run_archive(&archive, task);
+            assert_eq!(
+                gpu.output,
+                oracle_out,
+                "[{name}] G-TADOC vs oracle on {}",
+                task.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn both_gpu_traversal_strategies_agree_on_every_platform() {
+    let corpus = corpora().remove(1).1;
+    let archive = compress_corpus(&corpus, CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let layout = gtadoc::layout::GpuLayout::build(&archive, &dag);
+    for spec in GpuSpec::all_platforms() {
+        let mut engine = GtadocEngine::new(spec);
+        for task in [
+            Task::WordCount,
+            Task::Sort,
+            Task::InvertedIndex,
+            Task::TermVector,
+        ] {
+            let td = engine.run_layout(&layout, task, Some(TraversalStrategy::TopDown));
+            let bu = engine.run_layout(&layout, task, Some(TraversalStrategy::BottomUp));
+            assert_eq!(td.output, bu.output, "strategies disagree on {}", task.name());
+        }
+    }
+}
+
+#[test]
+fn archive_serialization_preserves_analytics_results() {
+    let corpus = corpora().remove(1).1;
+    let archive = compress_corpus(&corpus, CompressOptions::default());
+    let bytes = archive.to_bytes();
+    let restored = TadocArchive::from_bytes(&bytes).expect("valid archive");
+    let dag_a = Dag::from_grammar(&archive.grammar);
+    let dag_b = Dag::from_grammar(&restored.grammar);
+    let cfg = TaskConfig::default();
+    for task in Task::ALL {
+        let a = run_task(&archive, &dag_a, task, cfg);
+        let b = run_task(&restored, &dag_b, task, cfg);
+        assert_eq!(a.output, b.output, "{}", task.name());
+    }
+}
+
+#[test]
+fn non_default_sequence_lengths_agree() {
+    let corpus = corpora().remove(2).1;
+    let archive = compress_corpus(&corpus, CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let files = archive.grammar.expand_files();
+    for l in [1usize, 2, 3] {
+        let cfg = TaskConfig { sequence_length: l };
+        let params = GtadocParams {
+            sequence_length: l,
+            ..Default::default()
+        };
+        let mut engine = GtadocEngine::with_params(GpuSpec::tesla_v100(), params);
+        for task in [Task::SequenceCount, Task::RankedInvertedIndex] {
+            let (oracle_out, _) = uncompressed::cpu::run_cpu_uncompressed(&files, task, cfg);
+            let cpu = run_task(&archive, &dag, task, cfg);
+            let gpu = engine.run_archive(&archive, task);
+            assert_eq!(cpu.output, oracle_out, "l={l} {}", task.name());
+            assert_eq!(gpu.output, oracle_out, "l={l} {}", task.name());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * Sequitur compression is lossless for arbitrary token streams and
+//!   arbitrary file splits;
+//! * the archive binary format round-trips;
+//! * the grammar respects rule-utility and acyclicity invariants;
+//! * rule weights equal true expansion counts; file weights partition them;
+//! * the GPU hash table behaves like a map; the pool-backed local tables
+//!   behave like maps; the memory pool never overlaps regions;
+//! * G-TADOC word count and sequence count agree with the oracle on random
+//!   corpora.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use g_tadoc_repro::prelude::*;
+use gtadoc::hashtable::{local_table, GpuHashTable};
+use sequitur::compress::compress_token_files;
+use sequitur::Dictionary;
+use tadoc::timing::WorkStats;
+
+/// Builds an archive from raw token streams (vocabulary = max token + 1).
+fn archive_from_tokens(files: &[Vec<u32>]) -> TadocArchive {
+    let vocab = files
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
+    let mut dict = Dictionary::new();
+    for i in 0..vocab {
+        dict.intern(&format!("w{i}"));
+    }
+    let names = (0..files.len()).map(|i| format!("f{i}")).collect();
+    let sizes = files.iter().map(|f| f.len() as u64 * 3).collect();
+    compress_token_files(dict, files.to_vec(), names, sizes)
+}
+
+/// Strategy: between 1 and 4 files of tokens drawn from a small alphabet
+/// (small alphabets maximise repetition and therefore grammar depth).
+fn token_files() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    vec(vec(0u32..12, 0..120), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequitur_roundtrip_is_lossless(files in token_files()) {
+        let archive = archive_from_tokens(&files);
+        prop_assert_eq!(archive.grammar.expand_files(), files);
+    }
+
+    #[test]
+    fn grammar_invariants_hold(files in token_files()) {
+        let archive = archive_from_tokens(&files);
+        prop_assert!(archive.grammar.validate().is_ok());
+        // Rule utility: every non-root rule is referenced at least twice.
+        let counts = archive.grammar.rule_use_counts();
+        for (r, &c) in counts.iter().enumerate().skip(1) {
+            prop_assert!(c >= 2, "rule {} used {} times", r, c);
+        }
+    }
+
+    #[test]
+    fn archive_binary_format_roundtrips(files in token_files()) {
+        let archive = archive_from_tokens(&files);
+        let restored = TadocArchive::from_bytes(&archive.to_bytes()).unwrap();
+        prop_assert_eq!(restored.grammar, archive.grammar);
+        prop_assert_eq!(restored.files, archive.files);
+    }
+
+    #[test]
+    fn rule_weights_equal_expansion_counts(files in token_files()) {
+        let archive = archive_from_tokens(&files);
+        let dag = Dag::from_grammar(&archive.grammar);
+        let mut work = WorkStats::default();
+        let weights = tadoc::weights::rule_weights(&dag, &mut work);
+        let fw = tadoc::weights::file_weights(&archive.grammar, &dag, &mut work);
+        for r in 1..dag.num_rules {
+            // File weights partition the total weight.
+            let total: u64 = fw[r].values().sum();
+            prop_assert_eq!(total, weights[r]);
+        }
+    }
+
+    #[test]
+    fn gtadoc_word_count_matches_oracle(files in token_files()) {
+        let archive = archive_from_tokens(&files);
+        let expanded = archive.grammar.expand_files();
+        let mut engine = GtadocEngine::new(GpuSpec::gtx_1080());
+        let gpu = engine.run_archive(&archive, Task::WordCount);
+        let expected = AnalyticsOutput::WordCount(tadoc::oracle::word_count(&expanded));
+        prop_assert_eq!(gpu.output, expected);
+    }
+
+    #[test]
+    fn gtadoc_sequence_count_matches_oracle(files in token_files(), l in 1usize..=3) {
+        let archive = archive_from_tokens(&files);
+        let expanded = archive.grammar.expand_files();
+        let params = GtadocParams { sequence_length: l, ..Default::default() };
+        let mut engine = GtadocEngine::with_params(GpuSpec::tesla_v100(), params);
+        let gpu = engine.run_archive(&archive, Task::SequenceCount);
+        let expected = AnalyticsOutput::SequenceCount(tadoc::oracle::sequence_count(&expanded, l));
+        prop_assert_eq!(gpu.output, expected);
+    }
+
+    #[test]
+    fn gpu_hash_table_behaves_like_a_map(ops in vec((0u64..64, 1u64..5), 0..300)) {
+        let mut table = GpuHashTable::with_capacity(64, 2.0);
+        let mut model = std::collections::HashMap::new();
+        for (key, value) in ops {
+            table.insert_add_host(key, value);
+            *model.entry(key).or_insert(0u64) += value;
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(table.get(*k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn local_table_behaves_like_a_map(ops in vec((0u32..40, 1u32..4), 0..120)) {
+        let mut region = vec![0u32; local_table::words_required(40) as usize];
+        local_table::init(&mut region);
+        let mut model = std::collections::HashMap::new();
+        for (key, value) in ops {
+            local_table::insert_add(&mut region, key, value);
+            *model.entry(key).or_insert(0u32) += value;
+        }
+        prop_assert_eq!(local_table::len(&region) as usize, model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(local_table::get(&region, *k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn memory_pool_regions_never_overlap(reqs in vec(0u32..50, 0..60)) {
+        let device = gpu_sim::Device::new(GpuSpec::gtx_1080());
+        let pool = gtadoc::mempool::MemoryPool::allocate(&device, &reqs);
+        prop_assert!(pool.regions_disjoint());
+        prop_assert_eq!(pool.num_regions(), reqs.len());
+        let total: u64 = reqs.iter().map(|&r| r as u64).sum();
+        prop_assert_eq!(pool.total_words() as u64, total);
+    }
+
+    #[test]
+    fn head_tail_buffers_match_true_expansions(files in token_files(), l in 1usize..=3) {
+        let archive = archive_from_tokens(&files);
+        let dag = Dag::from_grammar(&archive.grammar);
+        let layout = gtadoc::layout::GpuLayout::build(&archive, &dag);
+        let mut device = gpu_sim::Device::new(GpuSpec::gtx_1080());
+        let ht = gtadoc::sequence::init_head_tail(&mut device, &layout, l);
+        let keep = l - 1;
+        for r in 1..layout.num_rules as u32 {
+            let full = archive.grammar.expand_rule_words(r);
+            let head: Vec<u32> = full.iter().copied().take(keep).collect();
+            let tail: Vec<u32> = full[full.len().saturating_sub(keep)..].to_vec();
+            prop_assert_eq!(&ht.head[r as usize], &head);
+            prop_assert_eq!(&ht.tail[r as usize], &tail);
+            if full.len() <= 2 * keep {
+                prop_assert_eq!(ht.short_expansion[r as usize].as_deref(), Some(full.as_slice()));
+            }
+        }
+    }
+}
