@@ -1,0 +1,474 @@
+//! # arena
+//!
+//! Backend-agnostic data-structure substrate shared by every execution
+//! engine in the workspace: the self-maintained memory pool of Section IV-C
+//! and the flat open-addressing local tables of Figure 5.
+//!
+//! The G-TADOC paper sizes every per-rule table during the initialization
+//! phase, allocates one large flat buffer, and hands out non-overlapping
+//! regions by a prefix-sum bump allocation, because dynamic allocation from
+//! thousands of GPU threads is not an option.  The same layout turns out to
+//! be exactly what a fine-grained *CPU* engine wants too — per-worker tables
+//! carved out of one arena, written lock-free, then merged — so this crate
+//! hosts the pool and the table codecs with **no device dependency**:
+//!
+//! * [`MemoryPool`] / [`PoolRegion`] — the flat `u32` arena with
+//!   non-overlapping regions ([`MemoryPool::split_regions`] hands every
+//!   region out as a disjoint `&mut [u32]`, which is what scoped worker
+//!   threads borrow);
+//! * [`local_table`] — the compact `u32 → u32` open-addressing table used by
+//!   the simulated GPU traversals (private per-rule tables need no locks);
+//! * [`flat64`] — the `u32 → u64` variant used by the fine-grained CPU
+//!   engine, whose analytics counts exceed 32 bits;
+//! * [`mix64`] — the shared full-avalanche finalizer both tables hash with.
+//!
+//! The `gtadoc` crate re-exports these for the simulator backend; the
+//! `tadoc` fine-grained engine uses them directly on real threads.
+
+/// SplitMix64 finalizer: a full-avalanche mix so that the *low* bits used for
+/// bucket selection depend on every input bit.  (A bare multiplicative hash
+/// leaves the low bits a function of only the low input bits, which makes
+/// packed multi-word sequence keys — identical last word, different prefix —
+/// collide into the same bucket and degenerate into long chains.)
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A region of the pool owned by one consumer (a rule, or a CPU worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolRegion {
+    /// First `u32` word of the region inside the pool buffer.
+    pub offset: u32,
+    /// Length of the region in `u32` words.
+    pub len: u32,
+}
+
+impl PoolRegion {
+    /// An empty region.
+    pub const EMPTY: PoolRegion = PoolRegion { offset: 0, len: 0 };
+
+    /// The half-open word range of this region.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset as usize..(self.offset + self.len) as usize
+    }
+}
+
+/// The memory pool: one flat `u32` buffer plus the per-consumer regions.
+#[derive(Debug)]
+pub struct MemoryPool {
+    storage: Vec<u32>,
+    regions: Vec<PoolRegion>,
+}
+
+impl MemoryPool {
+    /// Builds a pool from per-consumer requirements (in `u32` words) with a
+    /// bump (prefix-sum) allocation.
+    ///
+    /// # Panics
+    /// Panics if the total exceeds `u32::MAX` words (shard the dataset).
+    pub fn from_requirements(requirements: &[u32]) -> Self {
+        let mut regions = Vec::with_capacity(requirements.len());
+        let mut offset: u64 = 0;
+        for &req in requirements {
+            regions.push(PoolRegion {
+                offset: offset as u32,
+                len: req,
+            });
+            offset += req as u64;
+        }
+        assert!(
+            offset <= u32::MAX as u64,
+            "memory pool exceeds 4G words; shard the dataset"
+        );
+        Self {
+            storage: vec![0u32; offset as usize],
+            regions,
+        }
+    }
+
+    /// Number of consumers (regions).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total pool size in `u32` words.
+    pub fn total_words(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// The region of consumer `i`.
+    pub fn region(&self, i: usize) -> PoolRegion {
+        self.regions[i]
+    }
+
+    /// Immutable view of consumer `i`'s region.
+    pub fn slice(&self, i: usize) -> &[u32] {
+        &self.storage[self.regions[i].range()]
+    }
+
+    /// Mutable view of consumer `i`'s region.
+    pub fn slice_mut(&mut self, i: usize) -> &mut [u32] {
+        let range = self.regions[i].range();
+        &mut self.storage[range]
+    }
+
+    /// Mutable access to the whole backing storage together with the region
+    /// table — what a kernel holding the raw pool pointer would see.
+    pub fn storage_and_regions(&mut self) -> (&mut [u32], &[PoolRegion]) {
+        (&mut self.storage, &self.regions)
+    }
+
+    /// Splits the pool into one disjoint mutable slice per region, in region
+    /// order — the shape scoped worker threads borrow so every worker owns
+    /// its region with no locks.
+    pub fn split_regions(&mut self) -> Vec<&mut [u32]> {
+        let mut out = Vec::with_capacity(self.regions.len());
+        let mut rest: &mut [u32] = &mut self.storage;
+        let mut consumed = 0usize;
+        for region in &self.regions {
+            debug_assert_eq!(region.offset as usize, consumed, "regions must be contiguous");
+            let (head, tail) = rest.split_at_mut(region.len as usize);
+            out.push(head);
+            rest = tail;
+            consumed += region.len as usize;
+        }
+        out
+    }
+
+    /// Verifies that no two regions overlap (invariant test hook).
+    pub fn regions_disjoint(&self) -> bool {
+        let mut sorted: Vec<PoolRegion> =
+            self.regions.iter().copied().filter(|r| r.len > 0).collect();
+        sorted.sort_by_key(|r| r.offset);
+        sorted
+            .windows(2)
+            .all(|w| w[0].offset + w[0].len <= w[1].offset)
+    }
+}
+
+/// Operations on a private `u32 → u32` table stored inside a pool region.
+///
+/// Region layout (in `u32` words): `[capacity, size, key0, val0, key1, val1, …]`
+/// with open addressing (linear probing) over the `capacity` pair slots.
+/// `u32::MAX` marks an empty key slot.
+pub mod local_table {
+    /// Marker for an empty slot.
+    pub const EMPTY_KEY: u32 = u32::MAX;
+    /// Fixed header length in words (capacity, size).
+    pub const HEADER_WORDS: u32 = 2;
+
+    /// Number of `u32` words a table for `max_keys` distinct keys requires.
+    pub fn words_required(max_keys: u32) -> u32 {
+        // 2x slots for a comfortable load factor, 2 words per slot, plus header.
+        HEADER_WORDS + 2 * 2 * max_keys.max(1)
+    }
+
+    /// Initialises a region as an empty table.
+    pub fn init(region: &mut [u32]) {
+        if region.len() < HEADER_WORDS as usize + 2 {
+            if let Some(first) = region.first_mut() {
+                *first = 0;
+            }
+            return;
+        }
+        let capacity = ((region.len() - HEADER_WORDS as usize) / 2) as u32;
+        region[0] = capacity;
+        region[1] = 0;
+        for slot in 0..capacity as usize {
+            region[HEADER_WORDS as usize + 2 * slot] = EMPTY_KEY;
+            region[HEADER_WORDS as usize + 2 * slot + 1] = 0;
+        }
+    }
+
+    /// Adds `count` to `key`'s entry (inserting it if absent).
+    ///
+    /// # Panics
+    /// Panics if the table is full — the bounds computed by
+    /// `genLocTblBoundKernel` guarantee this cannot happen for well-formed
+    /// inputs.
+    pub fn insert_add(region: &mut [u32], key: u32, count: u32) {
+        let capacity = region[0];
+        assert!(capacity > 0, "local table has no capacity");
+        let mut slot = (super::mix64(key as u64) as u32) % capacity;
+        for _ in 0..capacity {
+            let base = (HEADER_WORDS + 2 * slot) as usize;
+            if region[base] == EMPTY_KEY {
+                region[base] = key;
+                region[base + 1] = count;
+                region[1] += 1;
+                return;
+            }
+            if region[base] == key {
+                region[base + 1] += count;
+                return;
+            }
+            slot = (slot + 1) % capacity;
+        }
+        panic!("local table overflow (capacity {capacity})");
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(region: &[u32]) -> u32 {
+        if region.len() < HEADER_WORDS as usize {
+            0
+        } else {
+            region[1]
+        }
+    }
+
+    /// Iterates over `(key, count)` pairs.
+    pub fn iter(region: &[u32]) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let capacity = if region.len() >= HEADER_WORDS as usize {
+            region[0] as usize
+        } else {
+            0
+        };
+        (0..capacity).filter_map(move |slot| {
+            let base = HEADER_WORDS as usize + 2 * slot;
+            if region[base] == EMPTY_KEY {
+                None
+            } else {
+                Some((region[base], region[base + 1]))
+            }
+        })
+    }
+
+    /// Looks up the count stored for `key`.
+    pub fn get(region: &[u32], key: u32) -> Option<u32> {
+        let capacity = region[0];
+        if capacity == 0 {
+            return None;
+        }
+        let mut slot = (super::mix64(key as u64) as u32) % capacity;
+        for _ in 0..capacity {
+            let base = (HEADER_WORDS + 2 * slot) as usize;
+            if region[base] == EMPTY_KEY {
+                return None;
+            }
+            if region[base] == key {
+                return Some(region[base + 1]);
+            }
+            slot = (slot + 1) % capacity;
+        }
+        None
+    }
+}
+
+/// Operations on a private `u32 → u64` table stored inside a pool region.
+///
+/// Same open-addressing design as [`local_table`], but values are 64-bit so
+/// the fine-grained CPU engine can accumulate analytics counts (word
+/// frequency × rule weight) without overflow.  Region layout (in `u32`
+/// words): `[capacity, size, key0, lo0, hi0, key1, lo1, hi1, …]` — three
+/// words per slot.
+pub mod flat64 {
+    /// Marker for an empty slot.
+    pub const EMPTY_KEY: u32 = u32::MAX;
+    /// Fixed header length in words (capacity, size).
+    pub const HEADER_WORDS: u32 = 2;
+    const SLOT_WORDS: u32 = 3;
+
+    /// Number of `u32` words a table for `max_keys` distinct keys requires.
+    pub fn words_required(max_keys: u32) -> u32 {
+        // 2x slots for a comfortable load factor, 3 words per slot, plus header.
+        HEADER_WORDS + SLOT_WORDS * 2 * max_keys.max(1)
+    }
+
+    /// Initialises a region as an empty table.
+    pub fn init(region: &mut [u32]) {
+        if region.len() < (HEADER_WORDS + SLOT_WORDS) as usize {
+            if let Some(first) = region.first_mut() {
+                *first = 0;
+            }
+            return;
+        }
+        let capacity = ((region.len() - HEADER_WORDS as usize) / SLOT_WORDS as usize) as u32;
+        region[0] = capacity;
+        region[1] = 0;
+        for slot in 0..capacity as usize {
+            region[HEADER_WORDS as usize + SLOT_WORDS as usize * slot] = EMPTY_KEY;
+        }
+    }
+
+    #[inline]
+    fn write_value(region: &mut [u32], base: usize, value: u64) {
+        region[base + 1] = value as u32;
+        region[base + 2] = (value >> 32) as u32;
+    }
+
+    #[inline]
+    fn read_value(region: &[u32], base: usize) -> u64 {
+        region[base + 1] as u64 | (region[base + 2] as u64) << 32
+    }
+
+    /// Adds `count` to `key`'s entry (inserting it if absent).
+    ///
+    /// # Panics
+    /// Panics if the table is full — capacity bounds are computed during the
+    /// initialization phase exactly as on the GPU.
+    pub fn insert_add(region: &mut [u32], key: u32, count: u64) {
+        let capacity = region[0];
+        assert!(capacity > 0, "flat64 table has no capacity");
+        let mut slot = (super::mix64(key as u64) as u32) % capacity;
+        for _ in 0..capacity {
+            let base = (HEADER_WORDS + SLOT_WORDS * slot) as usize;
+            if region[base] == EMPTY_KEY {
+                region[base] = key;
+                write_value(region, base, count);
+                region[1] += 1;
+                return;
+            }
+            if region[base] == key {
+                let v = read_value(region, base) + count;
+                write_value(region, base, v);
+                return;
+            }
+            slot = (slot + 1) % capacity;
+        }
+        panic!("flat64 table overflow (capacity {capacity})");
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(region: &[u32]) -> u32 {
+        if region.len() < HEADER_WORDS as usize {
+            0
+        } else {
+            region[1]
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in slot order.
+    pub fn iter(region: &[u32]) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let capacity = if region.len() >= HEADER_WORDS as usize {
+            region[0] as usize
+        } else {
+            0
+        };
+        (0..capacity).filter_map(move |slot| {
+            let base = HEADER_WORDS as usize + SLOT_WORDS as usize * slot;
+            if region[base] == EMPTY_KEY {
+                None
+            } else {
+                Some((region[base], read_value(region, base)))
+            }
+        })
+    }
+
+    /// Looks up the value stored for `key`.
+    pub fn get(region: &[u32], key: u32) -> Option<u64> {
+        let capacity = region[0];
+        if capacity == 0 {
+            return None;
+        }
+        let mut slot = (super::mix64(key as u64) as u32) % capacity;
+        for _ in 0..capacity {
+            let base = (HEADER_WORDS + SLOT_WORDS * slot) as usize;
+            if region[base] == EMPTY_KEY {
+                return None;
+            }
+            if region[base] == key {
+                return Some(read_value(region, base));
+            }
+            slot = (slot + 1) % capacity;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_regions_follow_requirements() {
+        let pool = MemoryPool::from_requirements(&[4, 0, 8, 2]);
+        assert_eq!(pool.num_regions(), 4);
+        assert_eq!(pool.total_words(), 14);
+        assert_eq!(pool.region(0), PoolRegion { offset: 0, len: 4 });
+        assert_eq!(pool.region(1), PoolRegion { offset: 4, len: 0 });
+        assert_eq!(pool.region(2), PoolRegion { offset: 4, len: 8 });
+        assert_eq!(pool.region(3), PoolRegion { offset: 12, len: 2 });
+        assert!(pool.regions_disjoint());
+    }
+
+    #[test]
+    fn split_regions_yields_disjoint_mut_slices() {
+        let mut pool = MemoryPool::from_requirements(&[3, 0, 2]);
+        {
+            let mut slices = pool.split_regions();
+            assert_eq!(slices.len(), 3);
+            assert_eq!(slices[0].len(), 3);
+            assert_eq!(slices[1].len(), 0);
+            assert_eq!(slices[2].len(), 2);
+            slices[0][1] = 7;
+            slices[2][0] = 9;
+        }
+        assert_eq!(pool.slice(0), &[0, 7, 0]);
+        assert_eq!(pool.slice(2), &[9, 0]);
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let mut pool = MemoryPool::from_requirements(&[]);
+        assert_eq!(pool.num_regions(), 0);
+        assert_eq!(pool.total_words(), 0);
+        assert!(pool.split_regions().is_empty());
+    }
+
+    #[test]
+    fn local_table_roundtrip() {
+        let mut region = vec![0u32; local_table::words_required(8) as usize];
+        local_table::init(&mut region);
+        local_table::insert_add(&mut region, 5, 2);
+        local_table::insert_add(&mut region, 9, 1);
+        local_table::insert_add(&mut region, 5, 3);
+        assert_eq!(local_table::get(&region, 5), Some(5));
+        assert_eq!(local_table::get(&region, 9), Some(1));
+        assert_eq!(local_table::get(&region, 7), None);
+        assert_eq!(local_table::len(&region), 2);
+    }
+
+    #[test]
+    fn flat64_holds_values_beyond_32_bits() {
+        let mut region = vec![0u32; flat64::words_required(16) as usize];
+        flat64::init(&mut region);
+        let big = 7 * (u32::MAX as u64);
+        flat64::insert_add(&mut region, 3, big);
+        flat64::insert_add(&mut region, 3, 1);
+        flat64::insert_add(&mut region, 100, 42);
+        assert_eq!(flat64::get(&region, 3), Some(big + 1));
+        assert_eq!(flat64::get(&region, 100), Some(42));
+        assert_eq!(flat64::get(&region, 4), None);
+        assert_eq!(flat64::len(&region), 2);
+        let mut pairs: Vec<(u32, u64)> = flat64::iter(&region).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(3, big + 1), (100, 42)]);
+    }
+
+    #[test]
+    fn flat64_capacity_bound_is_honoured() {
+        let mut region = vec![0u32; flat64::words_required(32) as usize];
+        flat64::init(&mut region);
+        for k in 0..32u32 {
+            flat64::insert_add(&mut region, 1000 + k, k as u64 + 1);
+        }
+        assert_eq!(flat64::len(&region), 32);
+        for k in 0..32u32 {
+            assert_eq!(flat64::get(&region, 1000 + k), Some(k as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn mix64_avalanches_low_bits() {
+        // Keys differing only in high bits must land in different buckets
+        // often enough; sanity-check a few.
+        let a = mix64(1 << 40) & 0xff;
+        let b = mix64(2 << 40) & 0xff;
+        let c = mix64(3 << 40) & 0xff;
+        assert!(!(a == b && b == c), "low bits must depend on high input bits");
+    }
+}

@@ -1,0 +1,49 @@
+//! Execution-mode comparison bench: sequential vs coarse-grained vs
+//! fine-grained CPU execution of the six analytics tasks on the datagen
+//! corpora.  The wall-clock report committed as `BENCH_fine_grained.json`
+//! comes from `cargo run -p bench --bin experiments -- fine`; this Criterion
+//! target tracks the same comparison under the bench harness.
+
+use bench::experiments::{prepare_dataset, ExperimentScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetId;
+use tadoc::apps::{Task, TaskConfig};
+use tadoc::fine_grained::{run_task_with_mode, ExecutionMode, FineGrainedConfig};
+use tadoc::parallel::ParallelConfig;
+
+const SCALE: ExperimentScale = ExperimentScale(0.05);
+const THREADS: usize = 4;
+
+fn modes() -> [ExecutionMode; 3] {
+    [
+        ExecutionMode::Sequential,
+        ExecutionMode::CoarseGrained(ParallelConfig {
+            num_threads: THREADS,
+        }),
+        ExecutionMode::FineGrained(FineGrainedConfig::with_threads(THREADS)),
+    ]
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let cfg = TaskConfig::default();
+    for dataset in [DatasetId::A, DatasetId::B] {
+        let prepared = prepare_dataset(dataset, SCALE);
+        for task in Task::ALL {
+            for mode in modes() {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{}", mode.name(), task.name()), dataset.label()),
+                    &prepared,
+                    |b, p| b.iter(|| run_task_with_mode(&p.archive, &p.dag, task, cfg, mode)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

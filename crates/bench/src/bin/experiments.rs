@@ -11,16 +11,25 @@
 //! experiments -- traversal              # §VI-C top-down vs bottom-up
 //! experiments -- uncompressed           # §VI-E vs GPU uncompressed analytics
 //! experiments -- ablation               # §IV design-choice ablations
+//! experiments -- fine                   # fine-grained CPU engine wall-clock bench
 //! experiments -- all                    # everything above
 //!
-//! Options: --scale <f64>   dataset scale factor (default 0.3)
+//! Options: --scale <f64>    dataset scale factor (default 0.3)
+//!          --threads <n>    worker threads for the `fine` bench (default 4)
+//!          --reps <n>       repetitions per measurement (default 3)
+//!          --out <path>     JSON output of the `fine` bench
+//!                           (default BENCH_fine_grained.json)
 //! ```
 
 use bench::experiments::{self, ExperimentScale};
+use datagen::DatasetId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::default();
+    let mut threads = 4usize;
+    let mut reps = 3u32;
+    let mut out = "BENCH_fine_grained.json".to_string();
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +44,35 @@ fn main() {
                         std::process::exit(2);
                     });
                 scale = ExperimentScale(value);
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 print_usage();
@@ -59,6 +97,7 @@ fn main() {
             "traversal" => print!("{}", experiments::traversal_comparison(scale)),
             "uncompressed" => print!("{}", experiments::uncompressed_comparison(scale)),
             "ablation" => print!("{}", experiments::ablation(scale)),
+            "fine" => run_fine(scale, threads, reps, &out),
             "all" => {
                 println!("{}", experiments::table1());
                 println!("{}", experiments::table2(scale));
@@ -69,6 +108,7 @@ fn main() {
                 println!("{}", experiments::traversal_comparison(scale));
                 println!("{}", experiments::uncompressed_comparison(scale));
                 println!("{}", experiments::ablation(scale));
+                run_fine(scale, threads, reps, &out);
             }
             other => {
                 eprintln!("unknown command: {other}");
@@ -80,8 +120,29 @@ fn main() {
     }
 }
 
+/// Runs the fine-grained CPU bench on the multi-file datasets and writes the
+/// machine-readable JSON used to track the perf trajectory across PRs.
+fn run_fine(scale: ExperimentScale, threads: usize, reps: u32, out: &str) {
+    let mut reports = Vec::new();
+    for id in [DatasetId::A, DatasetId::B] {
+        let report = experiments::fine_grained_report(id, scale, threads, reps);
+        print!("{}", report.render());
+        println!();
+        reports.push(report);
+    }
+    let json = experiments::fine_grained_json(&reports);
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn print_usage() {
     println!(
-        "usage: experiments [--scale <f>] <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|all>..."
+        "usage: experiments [--scale <f>] [--threads <n>] [--reps <n>] [--out <path>] \
+         <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|fine|all>..."
     );
 }

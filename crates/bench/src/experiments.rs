@@ -10,6 +10,8 @@ use gtadoc::traversal::TraversalStrategy;
 use sequitur::{ArchiveStats, Dag, TadocArchive};
 use tadoc::apps::{run_task, Task, TaskConfig};
 use tadoc::cost::{ClusterSpec, CpuSpec};
+use tadoc::fine_grained::{run_task_with_mode, ExecutionMode, FineGrainedConfig};
+use tadoc::parallel::ParallelConfig;
 use uncompressed::gpu::run_gpu_uncompressed;
 
 /// Scale factor applied to every dataset preset (1.0 = the default
@@ -486,6 +488,178 @@ pub fn uncompressed_comparison(scale: ExperimentScale) -> String {
         "average: {:.2}x   (paper: ~2x)\n",
         average(speedups.into_iter())
     ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fine-grained CPU engine: wall-clock execution-mode comparison
+// ---------------------------------------------------------------------------
+
+/// Wall-clock timings of one task under the three CPU execution modes.
+#[derive(Debug, Clone)]
+pub struct ModeCell {
+    /// The task measured.
+    pub task: Task,
+    /// Mean wall-clock nanoseconds of the sequential baseline.
+    pub sequential_ns: u64,
+    /// Mean wall-clock nanoseconds of coarse-grained (file-partition)
+    /// parallelism.
+    pub coarse_ns: u64,
+    /// Mean wall-clock nanoseconds of the fine-grained engine.
+    pub fine_ns: u64,
+}
+
+impl ModeCell {
+    /// Fine-grained speedup over the sequential baseline.
+    pub fn speedup_vs_sequential(&self) -> f64 {
+        self.sequential_ns as f64 / self.fine_ns.max(1) as f64
+    }
+
+    /// Fine-grained speedup over the coarse-grained runner.
+    pub fn speedup_vs_coarse(&self) -> f64 {
+        self.coarse_ns as f64 / self.fine_ns.max(1) as f64
+    }
+}
+
+/// The fine-grained benchmark for one dataset: all six tasks under all three
+/// execution modes, on real threads and real wall clocks (no cost model).
+#[derive(Debug, Clone)]
+pub struct FineGrainedReport {
+    /// Dataset label (Table II letter).
+    pub dataset: String,
+    /// Number of files in the generated corpus.
+    pub num_files: usize,
+    /// Total token count of the corpus.
+    pub total_tokens: usize,
+    /// Worker threads used by the parallel modes.
+    pub threads: usize,
+    /// Repetitions averaged per measurement.
+    pub reps: u32,
+    /// One row per task.
+    pub cells: Vec<ModeCell>,
+}
+
+/// Times `run` alone; digest checks happen outside the measured window so
+/// the reported ratios reflect only the execution modes themselves.
+fn mean_ns<R, F: FnMut() -> R>(reps: u32, mut run: F) -> u64 {
+    std::hint::black_box(run()); // warm-up
+    let mut total = 0u64;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        let result = run();
+        total += start.elapsed().as_nanos() as u64;
+        std::hint::black_box(result);
+    }
+    total / reps.max(1) as u64
+}
+
+/// Measures one dataset under the three execution modes.
+pub fn fine_grained_report(
+    id: DatasetId,
+    scale: ExperimentScale,
+    threads: usize,
+    reps: u32,
+) -> FineGrainedReport {
+    let prepared = prepare_dataset(id, scale);
+    let cfg = TaskConfig::default();
+    let archive = &prepared.archive;
+    let dag = &prepared.dag;
+    let modes = [
+        ExecutionMode::Sequential,
+        ExecutionMode::CoarseGrained(ParallelConfig {
+            num_threads: threads,
+        }),
+        ExecutionMode::FineGrained(FineGrainedConfig::with_threads(threads)),
+    ];
+
+    let mut cells = Vec::new();
+    for task in Task::ALL {
+        let reference = run_task(archive, dag, task, cfg).output.digest();
+        let mut ns = [0u64; 3];
+        for (slot, mode) in ns.iter_mut().zip(modes) {
+            // Correctness gate, outside the timed window.
+            let exec = run_task_with_mode(archive, dag, task, cfg, mode);
+            assert_eq!(
+                exec.output.digest(),
+                reference,
+                "{} output diverges under {}",
+                task.name(),
+                mode.name()
+            );
+            *slot = mean_ns(reps, || run_task_with_mode(archive, dag, task, cfg, mode));
+        }
+        cells.push(ModeCell {
+            task,
+            sequential_ns: ns[0],
+            coarse_ns: ns[1],
+            fine_ns: ns[2],
+        });
+    }
+
+    FineGrainedReport {
+        dataset: id.label().to_string(),
+        num_files: prepared.corpus.files.len(),
+        total_tokens: prepared.corpus.total_tokens(),
+        threads,
+        reps,
+        cells,
+    }
+}
+
+impl FineGrainedReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "FINE-GRAINED CPU ENGINE (dataset {}, {} files, {} tokens, {} threads, mean of {} reps)\n",
+            self.dataset, self.num_files, self.total_tokens, self.threads, self.reps
+        ));
+        out.push_str(
+            "task                    sequential(ms)  coarse(ms)   fine(ms)     fine vs seq  fine vs coarse\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<23} {:<15.3} {:<12.3} {:<12.3} {:<12.2} {:.2}\n",
+                c.task.name(),
+                c.sequential_ns as f64 / 1e6,
+                c.coarse_ns as f64 / 1e6,
+                c.fine_ns as f64 / 1e6,
+                c.speedup_vs_sequential(),
+                c.speedup_vs_coarse()
+            ));
+        }
+        out
+    }
+}
+
+/// Renders a list of fine-grained reports as the machine-readable JSON the
+/// perf trajectory of future PRs is tracked against
+/// (`BENCH_fine_grained.json`).
+pub fn fine_grained_json(reports: &[FineGrainedReport]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"fine_grained_cpu\",\n  \"unit\": \"ns\",\n  \"datasets\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"num_files\": {},\n      \"total_tokens\": {},\n      \"threads\": {},\n      \"reps\": {},\n      \"apps\": [\n",
+            r.dataset, r.num_files, r.total_tokens, r.threads, r.reps
+        ));
+        for (j, c) in r.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"task\": \"{}\", \"sequential_ns\": {}, \"coarse_ns\": {}, \"fine_ns\": {}, \"speedup_fine_vs_sequential\": {:.3}, \"speedup_fine_vs_coarse\": {:.3}}}{}\n",
+                c.task.name(),
+                c.sequential_ns,
+                c.coarse_ns,
+                c.fine_ns,
+                c.speedup_vs_sequential(),
+                c.speedup_vs_coarse(),
+                if j + 1 == r.cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

@@ -15,6 +15,7 @@
 pub mod experiments;
 
 pub use experiments::{
-    ablation, fig10, fig9, prepare_dataset, summary, table1, table2, traversal_comparison,
-    uncompressed_comparison, CellResult, ExperimentScale, Platform, PreparedDataset,
+    ablation, fig10, fig9, fine_grained_json, fine_grained_report, prepare_dataset, summary,
+    table1, table2, traversal_comparison, uncompressed_comparison, CellResult, ExperimentScale,
+    FineGrainedReport, ModeCell, Platform, PreparedDataset,
 };

@@ -15,22 +15,15 @@
 //!   thread needs no locks, so these are compact open-addressing tables laid
 //!   out directly in a pool region.
 
+use arena::mix64;
 use gpu_sim::ThreadCtx;
 
-const EMPTY_SLOT: i64 = -1;
+/// The *private* per-rule open-addressing tables that live inside the
+/// G-TADOC memory pool.  The codec is backend-agnostic and shared with the
+/// fine-grained CPU engine, so it lives in the [`arena`] crate.
+pub use arena::local_table;
 
-/// SplitMix64 finalizer: a full-avalanche mix so that the *low* bits used for
-/// bucket selection depend on every input bit.  (A bare multiplicative hash
-/// leaves the low bits a function of only the low input bits, which makes
-/// packed multi-word sequence keys — identical last word, different prefix —
-/// collide into the same bucket and degenerate into long chains.)
-#[inline]
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+const EMPTY_SLOT: i64 = -1;
 
 /// The global thread-safe hash table of Figure 5.
 #[derive(Debug, Clone)]
@@ -198,118 +191,6 @@ impl GpuHashTable {
 /// extraction and tests); its accounting is discarded.
 pub fn host_ctx() -> ThreadCtx {
     ThreadCtx::detached()
-}
-
-// ---------------------------------------------------------------------------
-// Pool-backed private local tables
-// ---------------------------------------------------------------------------
-
-/// Operations on a per-rule private table stored inside a memory-pool region.
-///
-/// Region layout (in `u32` words): `[capacity, size, key0, val0, key1, val1, …]`
-/// with open addressing (linear probing) over the `capacity` pair slots.
-/// `u32::MAX` marks an empty key slot.
-pub mod local_table {
-    /// Marker for an empty slot.
-    pub const EMPTY_KEY: u32 = u32::MAX;
-    /// Fixed header length in words (capacity, size).
-    pub const HEADER_WORDS: u32 = 2;
-
-    /// Number of `u32` words a table for `max_keys` distinct keys requires.
-    pub fn words_required(max_keys: u32) -> u32 {
-        // 2x slots for a comfortable load factor, 2 words per slot, plus header.
-        HEADER_WORDS + 2 * 2 * max_keys.max(1)
-    }
-
-    /// Initialises a region as an empty table.
-    pub fn init(region: &mut [u32]) {
-        if region.len() < HEADER_WORDS as usize + 2 {
-            if let Some(first) = region.first_mut() {
-                *first = 0;
-            }
-            return;
-        }
-        let capacity = ((region.len() - HEADER_WORDS as usize) / 2) as u32;
-        region[0] = capacity;
-        region[1] = 0;
-        for slot in 0..capacity as usize {
-            region[HEADER_WORDS as usize + 2 * slot] = EMPTY_KEY;
-            region[HEADER_WORDS as usize + 2 * slot + 1] = 0;
-        }
-    }
-
-    /// Adds `count` to `key`'s entry (inserting it if absent).
-    ///
-    /// # Panics
-    /// Panics if the table is full — the bounds computed by
-    /// `genLocTblBoundKernel` guarantee this cannot happen for well-formed
-    /// inputs.
-    pub fn insert_add(region: &mut [u32], key: u32, count: u32) {
-        let capacity = region[0];
-        assert!(capacity > 0, "local table has no capacity");
-        let mut slot = (super::mix64(key as u64) as u32) % capacity;
-        for _ in 0..capacity {
-            let base = (HEADER_WORDS + 2 * slot) as usize;
-            if region[base] == EMPTY_KEY {
-                region[base] = key;
-                region[base + 1] = count;
-                region[1] += 1;
-                return;
-            }
-            if region[base] == key {
-                region[base + 1] += count;
-                return;
-            }
-            slot = (slot + 1) % capacity;
-        }
-        panic!("local table overflow (capacity {capacity})");
-    }
-
-    /// Number of distinct keys stored.
-    pub fn len(region: &[u32]) -> u32 {
-        if region.len() < HEADER_WORDS as usize {
-            0
-        } else {
-            region[1]
-        }
-    }
-
-    /// Iterates over `(key, count)` pairs.
-    pub fn iter(region: &[u32]) -> impl Iterator<Item = (u32, u32)> + '_ {
-        let capacity = if region.len() >= HEADER_WORDS as usize {
-            region[0] as usize
-        } else {
-            0
-        };
-        (0..capacity).filter_map(move |slot| {
-            let base = HEADER_WORDS as usize + 2 * slot;
-            if region[base] == EMPTY_KEY {
-                None
-            } else {
-                Some((region[base], region[base + 1]))
-            }
-        })
-    }
-
-    /// Looks up the count stored for `key`.
-    pub fn get(region: &[u32], key: u32) -> Option<u32> {
-        let capacity = region[0];
-        if capacity == 0 {
-            return None;
-        }
-        let mut slot = (super::mix64(key as u64) as u32) % capacity;
-        for _ in 0..capacity {
-            let base = (HEADER_WORDS + 2 * slot) as usize;
-            if region[base] == EMPTY_KEY {
-                return None;
-            }
-            if region[base] == key {
-                return Some(region[base + 1]);
-            }
-            slot = (slot + 1) % capacity;
-        }
-        None
-    }
 }
 
 #[cfg(test)]

@@ -99,12 +99,12 @@ impl GpuLayout {
         let mut parent_offsets = Vec::with_capacity(n + 1);
         parent_offsets.push(0u32);
         let mut num_in_edges_excl_root = vec![0u32; n];
-        for r in 0..n {
-            for &(p, f) in &dag.parents[r] {
+        for (excl, parents) in num_in_edges_excl_root.iter_mut().zip(&dag.parents) {
+            for &(p, f) in parents {
                 parent_rules.push(p);
                 parent_freqs.push(f);
                 if p != 0 {
-                    num_in_edges_excl_root[r] += 1;
+                    *excl += 1;
                 }
             }
             parent_offsets.push(parent_rules.len() as u32);

@@ -6,102 +6,70 @@
 //! allocates one large device buffer, and hands out non-overlapping regions
 //! by a bump (prefix-sum) allocation — the design described in
 //! "G-TADOC maintained memory pool".
+//!
+//! The pool layout itself is backend-agnostic and lives in the [`arena`]
+//! crate (the fine-grained CPU engine carves per-worker tables out of the
+//! same structure); this module wraps it with the simulated-device memory
+//! accounting.
 
 use gpu_sim::Device;
 
-/// A region of the pool owned by one rule (or one logical consumer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PoolRegion {
-    /// First `u32` word of the region inside the pool buffer.
-    pub offset: u32,
-    /// Length of the region in `u32` words.
-    pub len: u32,
-}
+pub use arena::PoolRegion;
 
-impl PoolRegion {
-    /// An empty region.
-    pub const EMPTY: PoolRegion = PoolRegion { offset: 0, len: 0 };
-
-    /// The half-open word range of this region.
-    pub fn range(&self) -> std::ops::Range<usize> {
-        self.offset as usize..(self.offset + self.len) as usize
-    }
-}
-
-/// The memory pool: one flat `u32` buffer plus the per-consumer regions.
+/// The memory pool: one flat `u32` buffer plus the per-consumer regions,
+/// charged against a simulated device's memory capacity.
 #[derive(Debug)]
 pub struct MemoryPool {
-    storage: Vec<u32>,
-    regions: Vec<PoolRegion>,
+    inner: arena::MemoryPool,
 }
 
 impl MemoryPool {
     /// Builds a pool from per-consumer requirements (in `u32` words), charging
     /// the allocation against `device`'s memory capacity.
     pub fn allocate(device: &Device, requirements: &[u32]) -> Self {
-        let mut regions = Vec::with_capacity(requirements.len());
-        let mut offset: u64 = 0;
-        for &req in requirements {
-            regions.push(PoolRegion {
-                offset: offset as u32,
-                len: req,
-            });
-            offset += req as u64;
-        }
-        assert!(
-            offset <= u32::MAX as u64,
-            "memory pool exceeds 4G words; shard the dataset"
-        );
+        let inner = arena::MemoryPool::from_requirements(requirements);
         // Charge the device for the backing storage (and release the tracking
         // buffer immediately: the pool keeps its own storage so the simulated
         // capacity check is what matters here).
-        let tracking = device.alloc::<u32>(offset as usize);
+        let tracking = device.alloc::<u32>(inner.total_words());
         drop(tracking);
-        Self {
-            storage: vec![0u32; offset as usize],
-            regions,
-        }
+        Self { inner }
     }
 
     /// Number of consumers (regions).
     pub fn num_regions(&self) -> usize {
-        self.regions.len()
+        self.inner.num_regions()
     }
 
     /// Total pool size in `u32` words.
     pub fn total_words(&self) -> usize {
-        self.storage.len()
+        self.inner.total_words()
     }
 
     /// The region of consumer `i`.
     pub fn region(&self, i: usize) -> PoolRegion {
-        self.regions[i]
+        self.inner.region(i)
     }
 
     /// Immutable view of consumer `i`'s region.
     pub fn slice(&self, i: usize) -> &[u32] {
-        &self.storage[self.regions[i].range()]
+        self.inner.slice(i)
     }
 
     /// Mutable view of consumer `i`'s region.
     pub fn slice_mut(&mut self, i: usize) -> &mut [u32] {
-        let range = self.regions[i].range();
-        &mut self.storage[range]
+        self.inner.slice_mut(i)
     }
 
     /// Mutable access to the whole backing storage together with the region
     /// table — what a kernel holding the raw pool pointer would see.
     pub fn storage_and_regions(&mut self) -> (&mut [u32], &[PoolRegion]) {
-        (&mut self.storage, &self.regions)
+        self.inner.storage_and_regions()
     }
 
     /// Verifies that no two regions overlap (invariant test hook).
     pub fn regions_disjoint(&self) -> bool {
-        let mut sorted: Vec<PoolRegion> = self.regions.iter().copied().filter(|r| r.len > 0).collect();
-        sorted.sort_by_key(|r| r.offset);
-        sorted
-            .windows(2)
-            .all(|w| w[0].offset + w[0].len <= w[1].offset)
+        self.inner.regions_disjoint()
     }
 }
 

@@ -356,11 +356,17 @@ mod tests {
         let result = compute_file_weights(&mut device, &layout, &plan);
         let mut work = WorkStats::default();
         let expected = cpu_weights::file_weights(&archive.grammar, &dag, &mut work);
-        for r in 1..dag.num_rules {
+        for (r, (got_fw, want_fw)) in result
+            .file_weights
+            .iter()
+            .zip(&expected)
+            .enumerate()
+            .skip(1)
+        {
             let got: std::collections::BTreeMap<u32, u64> =
-                result.file_weights[r].iter().map(|(&f, &c)| (f, c)).collect();
+                got_fw.iter().map(|(&f, &c)| (f, c)).collect();
             let want: std::collections::BTreeMap<u32, u64> =
-                expected[r].iter().map(|(&f, &c)| (f, c)).collect();
+                want_fw.iter().map(|(&f, &c)| (f, c)).collect();
             assert_eq!(got, want, "rule {r}");
         }
     }

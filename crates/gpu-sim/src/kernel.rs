@@ -32,7 +32,7 @@ impl LaunchConfig {
         if self.threads == 0 {
             0
         } else {
-            (self.threads + self.block_size as u64 - 1) / self.block_size as u64
+            self.threads.div_ceil(self.block_size as u64)
         }
     }
 }

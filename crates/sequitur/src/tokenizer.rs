@@ -9,21 +9,12 @@ use crate::dictionary::Dictionary;
 use crate::WordId;
 
 /// Tokenization options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TokenizerOptions {
     /// Lower-case every token before interning.
     pub lowercase: bool,
     /// Strip leading/trailing ASCII punctuation from every token.
     pub strip_punctuation: bool,
-}
-
-impl Default for TokenizerOptions {
-    fn default() -> Self {
-        Self {
-            lowercase: false,
-            strip_punctuation: false,
-        }
-    }
 }
 
 /// Splits `text` into tokens and interns each into `dict`, returning the id

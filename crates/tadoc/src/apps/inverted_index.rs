@@ -39,13 +39,13 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (InvertedIndexResult, PhaseTimi
     }
 
     // Every other rule contributes its local words to every file it occurs in.
-    for r in 1..dag.num_rules {
-        if fw[r].is_empty() {
+    for (r, rule_fw) in fw.iter().enumerate().skip(1) {
+        if rule_fw.is_empty() {
             continue;
         }
         for &(w, _) in &dag.local_words[r] {
             let entry = sets.entry(w).or_default();
-            for &f in fw[r].keys() {
+            for &f in rule_fw.keys() {
                 entry.insert(f);
                 trav_work.table_ops += 1;
             }

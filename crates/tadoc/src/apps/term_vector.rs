@@ -38,12 +38,12 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (TermVectorResult, PhaseTimings
     }
 
     // Rule-local words scaled by the rule's per-file occurrence counts.
-    for r in 1..dag.num_rules {
-        if fw[r].is_empty() {
+    for (r, rule_fw) in fw.iter().enumerate().skip(1) {
+        if rule_fw.is_empty() {
             continue;
         }
         for &(w, c) in &dag.local_words[r] {
-            for (&f, &occurrences) in &fw[r] {
+            for (&f, &occurrences) in rule_fw {
                 *acc[f as usize].entry(w).or_insert(0) += c as u64 * occurrences;
                 trav_work.table_ops += 1;
             }
@@ -90,8 +90,8 @@ pub fn term_vector_for_file(
             }
         }
     }
-    for r in 1..dag.num_rules {
-        if let Some(&occ) = fw[r].get(&file) {
+    for (r, rule_fw) in fw.iter().enumerate().skip(1) {
+        if let Some(&occ) = rule_fw.get(&file) {
             for &(w, c) in &dag.local_words[r] {
                 *acc.entry(w).or_insert(0) += c as u64 * occ;
             }

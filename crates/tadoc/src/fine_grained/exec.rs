@@ -1,0 +1,213 @@
+//! Scoped worker-pool primitives for the fine-grained engine.
+//!
+//! The GPU runs one SIMT thread per rule; on the CPU we approximate the same
+//! fine-grained schedule with a small pool of scoped OS threads pulling
+//! dynamically sized chunks of the rule (or file, or chunk) index space from
+//! a shared atomic cursor.  Chunked claiming keeps the load balanced the way
+//! the paper's thread groups do — a worker that lands on cheap rules simply
+//! claims more chunks — without any per-rule synchronization.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A dynamic chunk dispenser over the index range `0..n`.
+#[derive(Debug)]
+pub struct WorkQueue {
+    cursor: AtomicUsize,
+    n: usize,
+    chunk: usize,
+}
+
+impl WorkQueue {
+    /// A queue handing out chunks of at most `chunk` indices.
+    pub fn new(n: usize, chunk: usize) -> Self {
+        Self {
+            cursor: AtomicUsize::new(0),
+            n,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next chunk, or `None` when the range is exhausted.
+    pub fn next(&self) -> Option<Range<usize>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.n {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.n))
+    }
+}
+
+/// Runs `f(worker_id)` once per worker on `threads` scoped threads (worker 0
+/// runs on the calling thread) and returns the results in worker order.
+///
+/// The scope join at the end is the level barrier of the traversal: every
+/// write a worker makes before returning is visible to the caller and to all
+/// workers of the next phase.
+pub fn parallel_collect<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for w in 1..threads {
+            let f = &f;
+            let results = &results;
+            scope.spawn(move || {
+                let r = f(w);
+                results.lock().expect("worker result mutex poisoned").push((w, r));
+            });
+        }
+        let r = f(0);
+        results.lock().expect("worker result mutex poisoned").push((0, r));
+    });
+    let mut results = results.into_inner().expect("worker result mutex poisoned");
+    results.sort_unstable_by_key(|&(w, _)| w);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Hands one owned input to each worker (`f(worker_id, input)`) and returns
+/// the results in worker order.  Used to move each worker's disjoint arena
+/// region into its thread.
+pub fn parallel_map_workers<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(inputs.len()));
+    std::thread::scope(|scope| {
+        let mut first: Option<(usize, T)> = None;
+        for (w, input) in inputs.into_iter().enumerate() {
+            if w == 0 {
+                first = Some((w, input));
+                continue;
+            }
+            let f = &f;
+            let results = &results;
+            scope.spawn(move || {
+                let r = f(w, input);
+                results.lock().expect("worker result mutex poisoned").push((w, r));
+            });
+        }
+        if let Some((w, input)) = first {
+            let r = f(w, input);
+            results.lock().expect("worker result mutex poisoned").push((w, r));
+        }
+    });
+    let mut results = results.into_inner().expect("worker result mutex poisoned");
+    results.sort_unstable_by_key(|&(w, _)| w);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `f(i)` for every `i in 0..n` across the worker pool with dynamic
+/// chunking.  Small ranges run inline on the caller: spawning threads for a
+/// near-empty DAG level would cost more than the level itself.
+pub fn parallel_for_range<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    const INLINE_THRESHOLD: usize = 32;
+    let threads = threads.max(1);
+    if threads == 1 || n <= INLINE_THRESHOLD {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let chunk = (n / (threads * 8)).clamp(1, 4096);
+    let queue = WorkQueue::new(n, chunk);
+    parallel_collect(threads, |_| {
+        while let Some(range) = queue.next() {
+            for i in range {
+                f(i);
+            }
+        }
+    });
+}
+
+/// The hash shard (in `0..shards`) a 64-bit key belongs to during the global
+/// merge: each merge worker owns one shard, so no two workers ever touch the
+/// same key — the merge needs no locks.
+#[inline]
+pub fn shard_of(hash: u64, shards: usize) -> usize {
+    (arena::mix64(hash) % shards.max(1) as u64) as usize
+}
+
+/// Order-sensitive 64-bit hash of a word sequence (used for sharding
+/// sequence keys; collisions only affect shard balance, not correctness).
+#[inline]
+pub fn sequence_hash(seq: &[u32]) -> u64 {
+    let mut h: u64 = seq.len() as u64;
+    for &w in seq {
+        h = arena::mix64(h ^ w as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn work_queue_covers_range_exactly_once() {
+        let queue = WorkQueue::new(103, 10);
+        let mut seen = [false; 103];
+        while let Some(range) = queue.next() {
+            for i in range {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parallel_collect_returns_worker_order() {
+        let out = parallel_collect(4, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_map_workers_moves_inputs() {
+        let regions = vec![vec![0u32; 2], vec![0u32; 3]];
+        let out = parallel_map_workers(regions, |w, mut r| {
+            r.fill(w as u32 + 1);
+            r
+        });
+        assert_eq!(out, vec![vec![1, 1], vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn parallel_for_sums_correctly() {
+        let total = AtomicU64::new(0);
+        parallel_for_range(1000, 4, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn shards_are_in_range_and_spread() {
+        let shards = 8;
+        let mut hit = vec![false; shards];
+        for k in 0..64u64 {
+            hit[shard_of(k, shards)] = true;
+        }
+        assert!(hit.iter().filter(|&&h| h).count() >= 4);
+        assert_eq!(shard_of(42, 1), 0);
+    }
+
+    #[test]
+    fn sequence_hash_is_order_sensitive() {
+        assert_ne!(sequence_hash(&[1, 2]), sequence_hash(&[2, 1]));
+        assert_ne!(sequence_hash(&[1]), sequence_hash(&[1, 1]));
+    }
+}

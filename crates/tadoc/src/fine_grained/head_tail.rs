@@ -1,0 +1,242 @@
+//! Per-rule head/tail buffers on real CPU threads (Figures 6 and 7).
+//!
+//! For sequence length `l`, every rule stores the first and last `l-1` words
+//! of its expansion; rules expanding to at most `2(l-1)` words keep the whole
+//! expansion instead, so a sliding window can never silently skip over them.
+//! The GPU fills these buffers with the mask/stop-flag loop of Figure 7; the
+//! CPU engine gets the same dependency order for free from the DAG layers:
+//! a rule's buffers only depend on its sub-rules', and every sub-rule lives
+//! in a strictly deeper layer, so processing layers deepest-first with a
+//! barrier between layers (the scope join in
+//! [`exec::parallel_for_range`](super::exec::parallel_for_range)) is exactly
+//! the level-synchronized schedule of the paper.
+
+use super::exec;
+use crate::timing::WorkStats;
+use sequitur::{Dag, Grammar, Symbol};
+use std::sync::Mutex;
+
+/// Per-rule head/tail buffers (CPU twin of the simulator's `HeadTail`).
+#[derive(Debug, Clone)]
+pub struct HeadTail {
+    /// Sequence length `l` the buffers were built for.
+    pub l: usize,
+    /// First `min(expanded_len, l-1)` words of each rule.
+    pub head: Vec<Vec<u32>>,
+    /// Last `min(expanded_len, l-1)` words of each rule.
+    pub tail: Vec<Vec<u32>>,
+    /// Full expansion for rules spanning at most `2(l-1)` words.
+    pub short_expansion: Vec<Option<Vec<u32>>>,
+}
+
+/// Groups rule ids by DAG layer, deepest layer first (the bottom-up level
+/// schedule: all of a rule's children precede it).
+pub fn levels_bottom_up(dag: &Dag) -> Vec<Vec<u32>> {
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); dag.num_layers];
+    for r in 0..dag.num_rules {
+        levels[dag.layers[r] as usize].push(r as u32);
+    }
+    levels.reverse();
+    levels.retain(|l| !l.is_empty());
+    levels
+}
+
+/// Groups rule ids by DAG layer, root layer first (the top-down level
+/// schedule: all of a rule's parents precede it).
+pub fn levels_top_down(dag: &Dag) -> Vec<Vec<u32>> {
+    let mut levels = levels_bottom_up(dag);
+    levels.reverse();
+    levels
+}
+
+/// One rule's buffers, assembled from its own words and its (already
+/// finished) sub-rules' buffers — the body of `initHeadTailKernel`.
+fn assemble_rule(
+    body: &[Symbol],
+    expanded: u64,
+    keep: usize,
+    head: &[Vec<u32>],
+    tail: &[Vec<u32>],
+    short_expansion: &[Option<Vec<u32>>],
+) -> (Vec<u32>, Vec<u32>, Option<Vec<u32>>) {
+    let is_short = expanded <= 2 * keep as u64;
+    let want = if is_short { expanded as usize } else { keep };
+
+    // Head: walk elements left to right collecting words.
+    let mut h: Vec<u32> = Vec::with_capacity(want);
+    'head: for sym in body {
+        if h.len() >= want {
+            break;
+        }
+        match *sym {
+            Symbol::Word(w) => h.push(w),
+            Symbol::Rule(c) => {
+                let source: &[u32] = match &short_expansion[c as usize] {
+                    Some(full) => full,
+                    None => &head[c as usize],
+                };
+                for &w in source {
+                    h.push(w);
+                    if h.len() >= want {
+                        continue 'head;
+                    }
+                }
+            }
+            Symbol::Splitter(_) => {}
+        }
+    }
+
+    // Tail: walk elements right to left collecting words.
+    let mut t_rev: Vec<u32> = Vec::with_capacity(want);
+    'tail: for sym in body.iter().rev() {
+        if t_rev.len() >= want {
+            break;
+        }
+        match *sym {
+            Symbol::Word(w) => t_rev.push(w),
+            Symbol::Rule(c) => {
+                let source: &[u32] = match &short_expansion[c as usize] {
+                    Some(full) => full,
+                    None => &tail[c as usize],
+                };
+                for &w in source.iter().rev() {
+                    t_rev.push(w);
+                    if t_rev.len() >= want {
+                        continue 'tail;
+                    }
+                }
+            }
+            Symbol::Splitter(_) => {}
+        }
+    }
+    t_rev.reverse();
+
+    if is_short {
+        let full = h;
+        let head_part = full.iter().copied().take(keep).collect();
+        let tail_part = full[full.len().saturating_sub(keep)..].to_vec();
+        (head_part, tail_part, Some(full))
+    } else {
+        (h, t_rev, None)
+    }
+}
+
+/// Builds the head/tail buffers with level-synchronized bottom-up parallelism.
+pub fn build_head_tail(
+    grammar: &Grammar,
+    dag: &Dag,
+    l: usize,
+    threads: usize,
+    work: &mut WorkStats,
+) -> HeadTail {
+    assert!(l >= 1, "sequence length must be at least 1");
+    let n = dag.num_rules;
+    let keep = l - 1;
+    let expanded = grammar.rule_expanded_lengths();
+    let mut head: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut tail: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut short_expansion: Vec<Option<Vec<u32>>> = vec![None; n];
+
+    // (head, tail, short expansion) of one assembled rule.
+    type RuleBuffers = (Vec<u32>, Vec<u32>, Option<Vec<u32>>);
+    for level in levels_bottom_up(dag) {
+        // Everything this level reads (children's buffers) was written in a
+        // previous iteration; the level's own writes land after the barrier.
+        let results: Mutex<Vec<(u32, RuleBuffers)>> = Mutex::new(Vec::with_capacity(level.len()));
+        exec::parallel_for_range(level.len(), threads, |i| {
+            let r = level[i];
+            let built = assemble_rule(
+                &grammar.rules[r as usize],
+                expanded[r as usize],
+                keep,
+                &head,
+                &tail,
+                &short_expansion,
+            );
+            results
+                .lock()
+                .expect("head/tail result mutex poisoned")
+                .push((r, built));
+        });
+        for (r, (h, t, s)) in results.into_inner().expect("head/tail result mutex poisoned") {
+            work.elements_scanned += dag.rule_lengths[r as usize] as u64;
+            work.bytes_moved += (h.len() + t.len()) as u64 * 4;
+            head[r as usize] = h;
+            tail[r as usize] = t;
+            short_expansion[r as usize] = s;
+        }
+    }
+
+    HeadTail {
+        l,
+        head,
+        tail,
+        short_expansion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+
+    fn sample_corpus() -> Vec<(String, String)> {
+        let shared = "w1 w2 w3 w4 w5 w6 w7 w8 ".repeat(12);
+        vec![
+            ("a".to_string(), format!("{shared} x1 x2 x3")),
+            ("b".to_string(), shared.clone()),
+            ("c".to_string(), format!("y0 {shared}")),
+        ]
+    }
+
+    #[test]
+    fn levels_cover_every_rule_once_in_dependency_order() {
+        let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let levels = levels_bottom_up(&dag);
+        let mut seen = vec![false; dag.num_rules];
+        for level in &levels {
+            for &r in level {
+                // All children must already be seen (they are in deeper layers).
+                for &(c, _) in &dag.children[r as usize] {
+                    assert!(seen[c as usize], "child {c} of {r} not yet processed");
+                }
+            }
+            for &r in level {
+                seen[r as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let td = levels_top_down(&dag);
+        assert_eq!(td.first().unwrap(), levels.last().unwrap());
+    }
+
+    #[test]
+    fn heads_and_tails_match_true_expansions() {
+        for threads in [1, 4] {
+            for l in [1usize, 2, 3] {
+                let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
+                let dag = Dag::from_grammar(&archive.grammar);
+                let mut work = WorkStats::default();
+                let ht = build_head_tail(&archive.grammar, &dag, l, threads, &mut work);
+                let keep = l - 1;
+                for r in 1..dag.num_rules as u32 {
+                    let full = archive.grammar.expand_rule_words(r);
+                    let want_head: Vec<u32> = full.iter().copied().take(keep).collect();
+                    let want_tail: Vec<u32> = full[full.len().saturating_sub(keep)..].to_vec();
+                    assert_eq!(ht.head[r as usize], want_head, "head of {r}, l={l}");
+                    assert_eq!(ht.tail[r as usize], want_tail, "tail of {r}, l={l}");
+                    if full.len() <= 2 * keep {
+                        assert_eq!(
+                            ht.short_expansion[r as usize].as_deref(),
+                            Some(full.as_slice()),
+                            "short expansion of {r}, l={l}"
+                        );
+                    } else {
+                        assert!(ht.short_expansion[r as usize].is_none());
+                    }
+                }
+            }
+        }
+    }
+}

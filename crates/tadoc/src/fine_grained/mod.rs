@@ -1,0 +1,952 @@
+//! Fine-grained parallel CPU execution engine.
+//!
+//! This module brings the G-TADOC scheduling (so far only realised on the
+//! `gpu-sim` backend) onto real CPU threads, replacing the coarse-grained
+//! file-partition parallelism of [`crate::parallel`] with the design the
+//! paper argues for:
+//!
+//! 1. **Level-synchronized DAG traversal.**  Rules are grouped by dependency
+//!    depth ([`head_tail::levels_top_down`] / [`head_tail::levels_bottom_up`]);
+//!    all rules of one level are processed in parallel across the worker
+//!    pool, and the scoped-thread join between levels plays the role of the
+//!    GPU's mask/stop-flag round barrier (Algorithm 1 top-down for
+//!    rule/file weights, Algorithm 2 bottom-up for head/tail assembly —
+//!    `rule.numOutEdge` ordering falls out of the layer grouping, since every
+//!    child sits in a strictly deeper layer than all of its parents).
+//! 2. **Arena-backed local tables** (Figure 5).  Word-frequency accumulation
+//!    uses flat open-addressing tables ([`arena::flat64`]) carved out of one
+//!    shared [`arena::MemoryPool`], one region per worker, sized during the
+//!    initialization phase exactly like the GPU memory pool: tables are
+//!    written lock-free because each region is privately owned, the CPU twin
+//!    of the paper's observation that a table owned by one thread needs no
+//!    locks.
+//! 3. **Sharded lock-free global merge.**  Instead of the global table's
+//!    bucket locks (Figure 5's `lock`/`entries` buffers), the CPU merge
+//!    assigns every key hash-shard to exactly one worker
+//!    ([`exec::shard_of`]), so the per-shard merges run concurrently with no
+//!    synchronization at all — contention is resolved statically rather than
+//!    with atomics.
+//! 4. **Rule-local sequence support** (Figures 6–8).  Sequence tasks build
+//!    per-rule head/tail buffers bottom-up and count every window **once per
+//!    rule**, scaling by rule weight (sequence count) or per-file rule
+//!    weight (ranked inverted index); the root is split into chunks the way
+//!    the paper's thread groups split oversized rules (Section IV-B).  This
+//!    is the reuse that lets the engine beat the sequential baseline even on
+//!    a single core — the baseline re-streams every occurrence.
+//!
+//! Outputs are byte-identical to the sequential oracle for all six tasks
+//! (asserted by `tests/cross_implementation.rs` and the unit tests below).
+
+pub mod exec;
+pub mod head_tail;
+pub mod sequences;
+
+use crate::apps::{run_task, Task, TaskConfig, TaskExecution};
+use crate::parallel::{run_task_parallel, ParallelConfig};
+use crate::results::*;
+use crate::timing::{PhaseTimings, Timer, WorkStats};
+use crate::weights::file_segments;
+use arena::flat64;
+use head_tail::{build_head_tail, levels_top_down};
+use sequences::{count_root_chunk, count_rule_local, root_chunks, RootChunk};
+use sequitur::fxhash::{FxHashMap, FxHashSet};
+use sequitur::{Dag, Grammar, Symbol, TadocArchive, WordId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of the fine-grained runner.
+#[derive(Debug, Clone, Copy)]
+pub struct FineGrainedConfig {
+    /// Number of worker threads in the pool.
+    pub num_threads: usize,
+    /// Target root-body elements per chunk for sequence tasks (the CPU
+    /// analogue of the thread-group split for oversized rules).
+    pub root_chunk_elements: usize,
+}
+
+impl Default for FineGrainedConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            num_threads: threads,
+            root_chunk_elements: 4096,
+        }
+    }
+}
+
+impl FineGrainedConfig {
+    /// A configuration with `num_threads` workers and default chunking.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self {
+            num_threads: num_threads.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// How a task is executed on the CPU: the three modes the benchmarks compare.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecutionMode {
+    /// The sequential TADOC baseline.
+    Sequential,
+    /// Coarse-grained file-partition parallelism (the design the paper
+    /// contrasts G-TADOC with).
+    CoarseGrained(ParallelConfig),
+    /// Fine-grained level-synchronized parallelism (this module).
+    FineGrained(FineGrainedConfig),
+}
+
+impl ExecutionMode {
+    /// Short mode name for reports and benchmark labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionMode::Sequential => "sequential",
+            ExecutionMode::CoarseGrained(_) => "coarse",
+            ExecutionMode::FineGrained(_) => "fine",
+        }
+    }
+}
+
+/// Runs `task` under the chosen execution mode.
+pub fn run_task_with_mode(
+    archive: &TadocArchive,
+    dag: &Dag,
+    task: Task,
+    cfg: TaskConfig,
+    mode: ExecutionMode,
+) -> TaskExecution {
+    match mode {
+        ExecutionMode::Sequential => run_task(archive, dag, task, cfg),
+        ExecutionMode::CoarseGrained(pcfg) => run_task_parallel(archive, dag, task, cfg, pcfg),
+        ExecutionMode::FineGrained(fcfg) => run_task_fine_grained(archive, dag, task, cfg, fcfg),
+    }
+}
+
+/// Runs `task` with fine-grained (level-synchronized, arena-backed)
+/// parallelism.
+pub fn run_task_fine_grained(
+    archive: &TadocArchive,
+    dag: &Dag,
+    task: Task,
+    cfg: TaskConfig,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    if task.is_sequence_sensitive() && cfg.sequence_length == 0 {
+        // Degenerate configuration: defer to the sequential semantics.
+        return run_task(archive, dag, task, cfg);
+    }
+    match task {
+        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, fcfg),
+        Task::InvertedIndex => inverted_index_fine(archive, dag, fcfg),
+        Task::TermVector => term_vector_fine(archive, dag, fcfg),
+        Task::SequenceCount => sequence_count_fine(archive, dag, cfg, fcfg),
+        Task::RankedInvertedIndex => ranked_inverted_index_fine(archive, dag, cfg, fcfg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level-synchronized weight propagation (Algorithm 1 on real threads)
+// ---------------------------------------------------------------------------
+
+/// Computes rule weights with a level-synchronized top-down traversal: all
+/// rules of one layer propagate `freq × weight` to their children in
+/// parallel (atomic adds), with a barrier between layers.
+fn parallel_rule_weights(dag: &Dag, threads: usize, work: &mut WorkStats) -> Vec<u64> {
+    let n = dag.num_rules;
+    let weights: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    weights[0].store(1, Ordering::Relaxed);
+    let edges = AtomicU64::new(0);
+    for level in levels_top_down(dag) {
+        exec::parallel_for_range(level.len(), threads, |i| {
+            let r = level[i] as usize;
+            let w = weights[r].load(Ordering::Relaxed);
+            if w == 0 {
+                return;
+            }
+            let children = &dag.children[r];
+            for &(c, freq) in children {
+                weights[c as usize].fetch_add(freq as u64 * w, Ordering::Relaxed);
+            }
+            edges.fetch_add(children.len() as u64, Ordering::Relaxed);
+        });
+    }
+    let edges = edges.into_inner();
+    work.elements_scanned += edges;
+    work.sync_ops += edges;
+    weights.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Computes per-rule per-file occurrence counts with the same
+/// level-synchronized top-down schedule, in *pull* form: every rule combines
+/// its root seed with its parents' (already final) tables, so each table is
+/// written by exactly one worker and the propagation needs no locks at all.
+fn parallel_file_weights(
+    grammar: &Grammar,
+    dag: &Dag,
+    threads: usize,
+    work: &mut WorkStats,
+) -> Vec<FxHashMap<FileId, u64>> {
+    let n = dag.num_rules;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut fw: Vec<FxHashMap<FileId, u64>> = vec![FxHashMap::default(); n];
+
+    // Seed: direct rule references in the root, attributed to their file
+    // (one linear scan of the root body).
+    let segments = file_segments(grammar);
+    let root = grammar.root();
+    for (fid, &(start, end)) in segments.iter().enumerate() {
+        for sym in &root[start..end] {
+            work.elements_scanned += 1;
+            if let Symbol::Rule(c) = sym {
+                *fw[*c as usize].entry(fid as FileId).or_insert(0) += 1;
+                work.table_ops += 1;
+            }
+        }
+    }
+
+    // Pull pass, level by level: all parents of a rule live in strictly
+    // shallower layers, so their tables are final when the rule's level runs.
+    let ops = AtomicU64::new(0);
+    for level in levels_top_down(dag) {
+        let results: Mutex<Vec<(u32, FxHashMap<FileId, u64>)>> =
+            Mutex::new(Vec::with_capacity(level.len()));
+        exec::parallel_for_range(level.len(), threads, |i| {
+            let r = level[i] as usize;
+            if r == 0 {
+                return;
+            }
+            let mut table = fw[r].clone(); // root seed
+            let mut local_ops = 0u64;
+            for &(p, freq) in &dag.parents[r] {
+                if p == 0 {
+                    continue; // already covered by the seed
+                }
+                for (&f, &cnt) in &fw[p as usize] {
+                    *table.entry(f).or_insert(0) += cnt * freq as u64;
+                    local_ops += 1;
+                }
+            }
+            ops.fetch_add(local_ops, Ordering::Relaxed);
+            if local_ops > 0 {
+                results
+                    .lock()
+                    .expect("file-weight result mutex poisoned")
+                    .push((r as u32, table));
+            }
+        });
+        for (r, table) in results
+            .into_inner()
+            .expect("file-weight result mutex poisoned")
+        {
+            fw[r as usize] = table;
+        }
+    }
+    work.table_ops += ops.into_inner();
+    fw
+}
+
+/// Transposes per-worker sharded maps into per-shard worker lists so the
+/// merge can own its shard's data without cloning.
+fn transpose_shards<T: Default>(locals: Vec<Vec<T>>, shards: usize) -> Vec<Vec<T>> {
+    let mut by_shard: Vec<Vec<T>> = (0..shards).map(|_| Vec::new()).collect();
+    for mut local in locals {
+        debug_assert_eq!(local.len(), shards);
+        for (s, item) in local.drain(..).enumerate() {
+            by_shard[s].push(item);
+        }
+    }
+    by_shard
+}
+
+/// The sharded lock-free global merge shared by every task: folds the
+/// workers' stats, hands each shard's per-worker pieces to exactly one merge
+/// worker, and returns the per-shard results (`merge` sees all of one
+/// shard's inputs and owns them).
+fn merge_sharded<T, R, F>(
+    locals: Vec<(Vec<T>, WorkStats)>,
+    threads: usize,
+    traversal_work: &mut WorkStats,
+    merge: F,
+) -> Vec<R>
+where
+    T: Send + Default,
+    R: Send,
+    F: Fn(Vec<T>) -> R + Sync,
+{
+    let mut shard_inputs = Vec::with_capacity(locals.len());
+    for (shards, stats) in locals {
+        traversal_work.merge(&stats);
+        shard_inputs.push(shards);
+    }
+    let by_shard = transpose_shards(shard_inputs, threads);
+    exec::parallel_map_workers(by_shard, |_s, pieces| merge(pieces))
+}
+
+/// Combines the disjoint per-shard result maps into the final table.
+fn collect_shards<K: Eq + std::hash::Hash, V>(
+    shard_maps: Vec<FxHashMap<K, V>>,
+    work: &mut WorkStats,
+) -> FxHashMap<K, V> {
+    let mut out: FxHashMap<K, V> = FxHashMap::default();
+    out.reserve(shard_maps.iter().map(|m| m.len()).sum());
+    for m in shard_maps {
+        work.table_ops += m.len() as u64;
+        out.extend(m);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// word count / sort
+// ---------------------------------------------------------------------------
+
+fn word_count_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    task: Task,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    let threads = fcfg.num_threads.max(1);
+    let n = dag.num_rules;
+
+    // Phase 1: initialization — weights via the level-synchronized top-down
+    // traversal, plus one arena region per worker sized for the vocabulary
+    // (the CPU analogue of genLocTblBoundKernel's per-rule bounds).
+    let init_timer = Timer::start();
+    let mut init_work = WorkStats::default();
+    let weights = parallel_rule_weights(dag, threads, &mut init_work);
+    let vocab = archive.vocabulary_size().max(1) as u32;
+    let table_words = flat64::words_required(vocab);
+    let mut pool = arena::MemoryPool::from_requirements(&vec![table_words; threads]);
+    init_work.bytes_moved += pool.total_words() as u64 * 4;
+    let init = init_timer.elapsed();
+
+    // Phase 2: traversal — every rule contributes local_words × weight into
+    // its worker's private table; each worker then buckets its own table
+    // once (a single linear scan) for the sharded lock-free merge.
+    let trav_timer = Timer::start();
+    let queue = exec::WorkQueue::new(n, 64);
+    let regions = pool.split_regions();
+    let locals: Vec<(Vec<FxHashMap<WordId, u64>>, WorkStats)> =
+        exec::parallel_map_workers(regions, |_w, region| {
+            flat64::init(region);
+            let mut stats = WorkStats::default();
+            while let Some(range) = queue.next() {
+                for r in range {
+                    let weight = weights[r];
+                    if weight == 0 {
+                        continue;
+                    }
+                    for &(w, c) in &dag.local_words[r] {
+                        flat64::insert_add(region, w, c as u64 * weight);
+                        stats.table_ops += 1;
+                    }
+                    stats.elements_scanned += dag.rule_lengths[r] as u64;
+                }
+            }
+            let mut shards: Vec<FxHashMap<WordId, u64>> =
+                (0..threads).map(|_| FxHashMap::default()).collect();
+            for (k, v) in flat64::iter(region) {
+                shards[exec::shard_of(k as u64, threads)].insert(k, v);
+                stats.table_ops += 1;
+            }
+            (shards, stats)
+        });
+
+    let mut traversal_work = WorkStats::default();
+    let shard_maps = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+        let mut out: FxHashMap<WordId, u64> = FxHashMap::default();
+        for map in pieces {
+            for (k, v) in map {
+                *out.entry(k).or_insert(0) += v;
+            }
+        }
+        out
+    });
+    let counts = collect_shards(shard_maps, &mut traversal_work);
+    let wc = WordCountResult { counts };
+    let output = if task == Task::WordCount {
+        AnalyticsOutput::WordCount(wc)
+    } else {
+        AnalyticsOutput::Sort(SortResult::from_word_count(&wc))
+    };
+    let traversal = trav_timer.elapsed();
+
+    TaskExecution {
+        output,
+        timings: PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// inverted index
+// ---------------------------------------------------------------------------
+
+fn inverted_index_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    let grammar = &archive.grammar;
+    let threads = fcfg.num_threads.max(1);
+    let n = dag.num_rules;
+
+    let init_timer = Timer::start();
+    let mut init_work = WorkStats::default();
+    let fw = parallel_file_weights(grammar, dag, threads, &mut init_work);
+    let segments = file_segments(grammar);
+    let init = init_timer.elapsed();
+
+    let trav_timer = Timer::start();
+    // Work item space: non-root rules first, then root segments.
+    let num_rule_items = n.saturating_sub(1);
+    let queue = exec::WorkQueue::new(num_rule_items + segments.len(), 64);
+    let root = grammar.root();
+    type PostingSets = Vec<FxHashMap<WordId, FxHashSet<FileId>>>;
+    let locals: Vec<(PostingSets, WorkStats)> =
+        exec::parallel_collect(threads, |_w| {
+            let mut shards: PostingSets =
+                (0..threads).map(|_| FxHashMap::default()).collect();
+            let mut stats = WorkStats::default();
+            while let Some(range) = queue.next() {
+                for item in range {
+                    if item < num_rule_items {
+                        let r = item + 1;
+                        if fw[r].is_empty() {
+                            continue;
+                        }
+                        for &(w, _) in &dag.local_words[r] {
+                            let shard = &mut shards[exec::shard_of(w as u64, threads)];
+                            let set = shard.entry(w).or_default();
+                            for &f in fw[r].keys() {
+                                set.insert(f);
+                                stats.table_ops += 1;
+                            }
+                        }
+                        stats.elements_scanned += dag.rule_lengths[r] as u64;
+                    } else {
+                        let fid = (item - num_rule_items) as FileId;
+                        let (start, end) = segments[item - num_rule_items];
+                        for sym in &root[start..end] {
+                            stats.elements_scanned += 1;
+                            if let Symbol::Word(w) = *sym {
+                                shards[exec::shard_of(w as u64, threads)]
+                                    .entry(w)
+                                    .or_default()
+                                    .insert(fid);
+                                stats.table_ops += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            (shards, stats)
+        });
+
+    let mut traversal_work = WorkStats::default();
+    let shard_postings = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+        let mut merged: FxHashMap<WordId, FxHashSet<FileId>> = FxHashMap::default();
+        for map in pieces {
+            for (w, files) in map {
+                merged.entry(w).or_default().extend(files);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(w, set)| {
+                let mut v: Vec<FileId> = set.into_iter().collect();
+                v.sort_unstable();
+                (w, v)
+            })
+            .collect::<FxHashMap<WordId, Vec<FileId>>>()
+    });
+    let postings = collect_shards(shard_postings, &mut traversal_work);
+    let traversal = trav_timer.elapsed();
+
+    TaskExecution {
+        output: AnalyticsOutput::InvertedIndex(InvertedIndexResult { postings }),
+        timings: PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// term vector
+// ---------------------------------------------------------------------------
+
+fn term_vector_fine(archive: &TadocArchive, dag: &Dag, fcfg: FineGrainedConfig) -> TaskExecution {
+    let grammar = &archive.grammar;
+    let threads = fcfg.num_threads.max(1);
+    let num_files = archive.num_files().max(grammar.num_files());
+
+    let init_timer = Timer::start();
+    let mut init_work = WorkStats::default();
+    let fw = parallel_file_weights(grammar, dag, threads, &mut init_work);
+    let segments = file_segments(grammar);
+    let init = init_timer.elapsed();
+
+    // Traversal: rule-major accumulation with *file-sharded* workers — every
+    // worker owns the files whose id hashes to it, walks all rules once, and
+    // applies only the per-file contributions of its own files.  Ownership by
+    // sharding (not locking) is the same trick as the global merge.
+    let trav_timer = Timer::start();
+    let root = grammar.root();
+    type FileVectors = Vec<(usize, Vec<(WordId, u64)>)>;
+    let locals: Vec<(FileVectors, WorkStats)> =
+        exec::parallel_collect(threads, |worker| {
+            let mut acc: FxHashMap<FileId, FxHashMap<WordId, u64>> = FxHashMap::default();
+            let mut stats = WorkStats::default();
+            // Root words of the worker's own files.
+            for (fid, &(start, end)) in segments.iter().enumerate() {
+                if fid % threads != worker {
+                    continue;
+                }
+                let entry = acc.entry(fid as FileId).or_default();
+                for sym in &root[start..end] {
+                    stats.elements_scanned += 1;
+                    if let Symbol::Word(w) = *sym {
+                        *entry.entry(w).or_insert(0) += 1;
+                        stats.table_ops += 1;
+                    }
+                }
+            }
+            // Rule-local words scaled by the rule's occurrences in own files.
+            for (r, rule_fw) in fw.iter().enumerate().skip(1) {
+                let mine: Vec<(FileId, u64)> = rule_fw
+                    .iter()
+                    .filter(|(&f, _)| f as usize % threads == worker)
+                    .map(|(&f, &occ)| (f, occ))
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                for &(w, c) in &dag.local_words[r] {
+                    for &(f, occ) in &mine {
+                        *acc.entry(f).or_default().entry(w).or_insert(0) += c as u64 * occ;
+                        stats.table_ops += 1;
+                    }
+                }
+                stats.elements_scanned += dag.rule_lengths[r] as u64;
+            }
+            let vectors = acc
+                .into_iter()
+                .map(|(f, m)| {
+                    let mut v: Vec<(WordId, u64)> = m.into_iter().collect();
+                    v.sort_unstable();
+                    (f as usize, v)
+                })
+                .collect();
+            (vectors, stats)
+        });
+
+    let mut vectors: Vec<Vec<(WordId, u64)>> = vec![Vec::new(); num_files];
+    let mut traversal_work = WorkStats::default();
+    for (worker_vectors, stats) in locals {
+        traversal_work.merge(&stats);
+        for (f, v) in worker_vectors {
+            vectors[f] = v;
+        }
+    }
+    let traversal = trav_timer.elapsed();
+
+    TaskExecution {
+        output: AnalyticsOutput::TermVector(TermVectorResult { vectors }),
+        timings: PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sequence count / ranked inverted index
+// ---------------------------------------------------------------------------
+
+/// Work item of the sequence traversals: a whole non-root rule, or one chunk
+/// of the root body.
+enum SeqItem {
+    Rule(usize),
+    Root(RootChunk),
+}
+
+fn sequence_work_items(dag: &Dag, segments: &[(usize, usize)], target: usize) -> Vec<SeqItem> {
+    let mut items: Vec<SeqItem> = (1..dag.num_rules).map(SeqItem::Rule).collect();
+    items.extend(root_chunks(segments, target).into_iter().map(SeqItem::Root));
+    items
+}
+
+fn sequence_count_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    cfg: TaskConfig,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    if sequences::can_pack(cfg.sequence_length, archive.vocabulary_size()) {
+        sequence_count_fine_impl::<u64>(archive, dag, cfg, fcfg)
+    } else {
+        sequence_count_fine_impl::<Sequence>(archive, dag, cfg, fcfg)
+    }
+}
+
+fn sequence_count_fine_impl<K: sequences::SeqKey>(
+    archive: &TadocArchive,
+    dag: &Dag,
+    cfg: TaskConfig,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    let grammar = &archive.grammar;
+    let threads = fcfg.num_threads.max(1);
+    let l = cfg.sequence_length;
+
+    let init_timer = Timer::start();
+    let mut init_work = WorkStats::default();
+    let weights = parallel_rule_weights(dag, threads, &mut init_work);
+    let ht = build_head_tail(grammar, dag, l, threads, &mut init_work);
+    let segments = file_segments(grammar);
+    let items = sequence_work_items(dag, &segments, fcfg.root_chunk_elements);
+    let init = init_timer.elapsed();
+
+    let trav_timer = Timer::start();
+    let queue = exec::WorkQueue::new(items.len(), 16);
+    let locals: Vec<(Vec<FxHashMap<K, u64>>, WorkStats)> =
+        exec::parallel_collect(threads, |_w| {
+            let mut shards: Vec<FxHashMap<K, u64>> =
+                (0..threads).map(|_| FxHashMap::default()).collect();
+            let mut stats = WorkStats::default();
+            while let Some(range) = queue.next() {
+                for item in range {
+                    match items[item] {
+                        SeqItem::Rule(r) => {
+                            let weight = weights[r];
+                            if weight == 0 {
+                                continue;
+                            }
+                            count_rule_local(&grammar.rules[r], &ht, |words, _| {
+                                let key = K::encode(words);
+                                let s = exec::shard_of(key.hash64(), threads);
+                                *shards[s].entry(key).or_insert(0) += weight;
+                                stats.table_ops += 1;
+                            });
+                            stats.elements_scanned += dag.rule_lengths[r] as u64;
+                        }
+                        SeqItem::Root(chunk) => {
+                            count_root_chunk(grammar.root(), &ht, chunk, |words| {
+                                let key = K::encode(words);
+                                let s = exec::shard_of(key.hash64(), threads);
+                                *shards[s].entry(key).or_insert(0) += 1;
+                                stats.table_ops += 1;
+                            });
+                            stats.elements_scanned += (chunk.end - chunk.begin) as u64;
+                        }
+                    }
+                }
+            }
+            (shards, stats)
+        });
+
+    let mut traversal_work = WorkStats::default();
+    let shard_counts = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+        let mut merged: FxHashMap<K, u64> = FxHashMap::default();
+        for map in pieces {
+            for (key, c) in map {
+                *merged.entry(key).or_insert(0) += c;
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(key, c)| (key.decode(l), c))
+            .collect::<FxHashMap<Sequence, u64>>()
+    });
+    let counts = collect_shards(shard_counts, &mut traversal_work);
+    let traversal = trav_timer.elapsed();
+
+    TaskExecution {
+        output: AnalyticsOutput::SequenceCount(SequenceCountResult { l, counts }),
+        timings: PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work,
+        },
+    }
+}
+
+fn ranked_inverted_index_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    cfg: TaskConfig,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    if sequences::can_pack(cfg.sequence_length, archive.vocabulary_size()) {
+        ranked_inverted_index_fine_impl::<u64>(archive, dag, cfg, fcfg)
+    } else {
+        ranked_inverted_index_fine_impl::<Sequence>(archive, dag, cfg, fcfg)
+    }
+}
+
+fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
+    archive: &TadocArchive,
+    dag: &Dag,
+    cfg: TaskConfig,
+    fcfg: FineGrainedConfig,
+) -> TaskExecution {
+    let grammar = &archive.grammar;
+    let threads = fcfg.num_threads.max(1);
+    let l = cfg.sequence_length;
+
+    let init_timer = Timer::start();
+    let mut init_work = WorkStats::default();
+    let fw = parallel_file_weights(grammar, dag, threads, &mut init_work);
+    let ht = build_head_tail(grammar, dag, l, threads, &mut init_work);
+    let segments = file_segments(grammar);
+    let items = sequence_work_items(dag, &segments, fcfg.root_chunk_elements);
+    let init = init_timer.elapsed();
+
+    let trav_timer = Timer::start();
+    let queue = exec::WorkQueue::new(items.len(), 16);
+    type PerFile = FxHashMap<FileId, u64>;
+    let locals: Vec<(Vec<FxHashMap<K, PerFile>>, WorkStats)> =
+        exec::parallel_collect(threads, |_w| {
+            let mut shards: Vec<FxHashMap<K, PerFile>> =
+                (0..threads).map(|_| FxHashMap::default()).collect();
+            let mut stats = WorkStats::default();
+            while let Some(range) = queue.next() {
+                for item in range {
+                    match items[item] {
+                        SeqItem::Rule(r) => {
+                            if fw[r].is_empty() {
+                                continue;
+                            }
+                            // Count the rule's local windows once, then scale
+                            // by the per-file occurrence counts.
+                            let mut local: FxHashMap<K, u64> = FxHashMap::default();
+                            count_rule_local(&grammar.rules[r], &ht, |words, _| {
+                                *local.entry(K::encode(words)).or_insert(0) += 1;
+                            });
+                            for (key, c) in local {
+                                let s = exec::shard_of(key.hash64(), threads);
+                                let per_file = shards[s].entry(key).or_default();
+                                for (&f, &occ) in &fw[r] {
+                                    *per_file.entry(f).or_insert(0) += c * occ;
+                                    stats.table_ops += 1;
+                                }
+                            }
+                            stats.elements_scanned += dag.rule_lengths[r] as u64;
+                        }
+                        SeqItem::Root(chunk) => {
+                            count_root_chunk(grammar.root(), &ht, chunk, |words| {
+                                let key = K::encode(words);
+                                let s = exec::shard_of(key.hash64(), threads);
+                                *shards[s]
+                                    .entry(key)
+                                    .or_default()
+                                    .entry(chunk.file)
+                                    .or_insert(0) += 1;
+                                stats.table_ops += 1;
+                            });
+                            stats.elements_scanned += (chunk.end - chunk.begin) as u64;
+                        }
+                    }
+                }
+            }
+            (shards, stats)
+        });
+
+    let mut traversal_work = WorkStats::default();
+    let shard_postings = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+        let mut merged: FxHashMap<K, PerFile> = FxHashMap::default();
+        for map in pieces {
+            for (key, per_file) in map {
+                let entry = merged.entry(key).or_default();
+                for (f, c) in per_file {
+                    *entry.entry(f).or_insert(0) += c;
+                }
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(key, m)| {
+                let mut v: Vec<(FileId, u64)> = m.into_iter().collect();
+                v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                (key.decode(l), v)
+            })
+            .collect::<FxHashMap<Sequence, Vec<(FileId, u64)>>>()
+    });
+    let postings = collect_shards(shard_postings, &mut traversal_work);
+    let traversal = trav_timer.elapsed();
+
+    TaskExecution {
+        output: AnalyticsOutput::RankedInvertedIndex(RankedInvertedIndexResult { l, postings }),
+        timings: PhaseTimings {
+            init,
+            traversal,
+            init_work,
+            traversal_work,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights;
+    use sequitur::compress::{compress_corpus, CompressOptions};
+
+    fn build(corpus: &[(String, String)]) -> (TadocArchive, Dag) {
+        let archive = compress_corpus(corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        (archive, dag)
+    }
+
+    fn redundant_corpus() -> Vec<(String, String)> {
+        let shared = "the quick brown fox jumps over the lazy dog while the cat watches ".repeat(6);
+        (0..7)
+            .map(|i| (format!("doc{i}"), format!("{shared} unique token{i} {shared}")))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_weights_match_sequential_weights() {
+        let (archive, dag) = build(&redundant_corpus());
+        let mut w1 = WorkStats::default();
+        let expected = weights::rule_weights(&dag, &mut w1);
+        for threads in [1, 3, 8] {
+            let mut w2 = WorkStats::default();
+            let got = parallel_rule_weights(&dag, threads, &mut w2);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        let _ = archive;
+    }
+
+    #[test]
+    fn parallel_file_weights_match_sequential() {
+        let (archive, dag) = build(&redundant_corpus());
+        let mut w1 = WorkStats::default();
+        let expected = weights::file_weights(&archive.grammar, &dag, &mut w1);
+        for threads in [1, 4] {
+            let mut w2 = WorkStats::default();
+            let got = parallel_file_weights(&archive.grammar, &dag, threads, &mut w2);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn all_tasks_match_sequential_at_various_thread_counts() {
+        let (archive, dag) = build(&redundant_corpus());
+        let cfg = TaskConfig::default();
+        for task in Task::ALL {
+            let seq = run_task(&archive, &dag, task, cfg);
+            for threads in [1usize, 3, 8] {
+                let fcfg = FineGrainedConfig {
+                    num_threads: threads,
+                    root_chunk_elements: 7,
+                };
+                let fine = run_task_fine_grained(&archive, &dag, task, cfg, fcfg);
+                assert_eq!(
+                    fine.output,
+                    seq.output,
+                    "task {} with {threads} threads diverges",
+                    task.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_lengths_one_to_four_match_sequential() {
+        let (archive, dag) = build(&redundant_corpus());
+        for l in [1usize, 2, 4] {
+            let cfg = TaskConfig { sequence_length: l };
+            for task in [Task::SequenceCount, Task::RankedInvertedIndex] {
+                let seq = run_task(&archive, &dag, task, cfg);
+                let fine = run_task_fine_grained(
+                    &archive,
+                    &dag,
+                    task,
+                    cfg,
+                    FineGrainedConfig::with_threads(4),
+                );
+                assert_eq!(fine.output, seq.output, "task {} l={l}", task.name());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_corpora_are_handled() {
+        let corpora: Vec<Vec<(String, String)>> = vec![
+            vec![("empty".to_string(), String::new())],
+            vec![
+                ("empty".to_string(), String::new()),
+                ("tiny".to_string(), "x".to_string()),
+                ("normal".to_string(), "x y z x y z x y".to_string()),
+            ],
+            vec![("one".to_string(), "a b a b a b a b".to_string())],
+        ];
+        let cfg = TaskConfig::default();
+        for corpus in corpora {
+            let (archive, dag) = build(&corpus);
+            for task in Task::ALL {
+                let seq = run_task(&archive, &dag, task, cfg);
+                let fine = run_task_fine_grained(
+                    &archive,
+                    &dag,
+                    task,
+                    cfg,
+                    FineGrainedConfig::with_threads(3),
+                );
+                assert_eq!(fine.output, seq.output, "task {}", task.name());
+            }
+        }
+    }
+
+    #[test]
+    fn execution_mode_dispatch_agrees() {
+        let (archive, dag) = build(&redundant_corpus());
+        let cfg = TaskConfig::default();
+        let modes = [
+            ExecutionMode::Sequential,
+            ExecutionMode::CoarseGrained(ParallelConfig { num_threads: 3 }),
+            ExecutionMode::FineGrained(FineGrainedConfig::with_threads(3)),
+        ];
+        assert_eq!(modes[0].name(), "sequential");
+        assert_eq!(modes[1].name(), "coarse");
+        assert_eq!(modes[2].name(), "fine");
+        let baseline = run_task(&archive, &dag, Task::InvertedIndex, cfg);
+        for mode in modes {
+            let got = run_task_with_mode(&archive, &dag, Task::InvertedIndex, cfg, mode);
+            assert_eq!(got.output, baseline.output, "mode {}", mode.name());
+        }
+    }
+
+    #[test]
+    fn work_stats_are_recorded() {
+        let (archive, dag) = build(&redundant_corpus());
+        let exec = run_task_fine_grained(
+            &archive,
+            &dag,
+            Task::WordCount,
+            TaskConfig::default(),
+            FineGrainedConfig::with_threads(2),
+        );
+        assert!(exec.timings.traversal_work.total_ops() > 0);
+        assert!(exec.timings.init_work.total_ops() > 0);
+    }
+}

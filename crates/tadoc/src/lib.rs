@@ -11,6 +11,10 @@
 //! * the coarse-grained parallel variant that partitions files across CPU
 //!   threads and merges partial results (the TADOC parallel design G-TADOC's
 //!   fine-grained scheduling is contrasted with);
+//! * the **fine-grained parallel engine** ([`fine_grained`]): the G-TADOC
+//!   scheduling on real CPU threads — level-synchronized DAG traversal,
+//!   arena-backed per-worker tables, sharded lock-free merges, and rule-local
+//!   sequence counting (see the module docs for the paper mapping);
 //! * a ground-truth *oracle* that computes every task on the decompressed
 //!   token streams (used to validate both TADOC and G-TADOC);
 //! * the CPU and 10-node-cluster analytic cost models used by the experiment
@@ -22,6 +26,7 @@
 
 pub mod apps;
 pub mod cost;
+pub mod fine_grained;
 pub mod oracle;
 pub mod parallel;
 pub mod results;
@@ -29,6 +34,9 @@ pub mod timing;
 pub mod weights;
 
 pub use apps::{run_task, Task, TaskConfig};
+pub use fine_grained::{
+    run_task_fine_grained, run_task_with_mode, ExecutionMode, FineGrainedConfig,
+};
 pub use results::{
     AnalyticsOutput, InvertedIndexResult, RankedInvertedIndexResult, SequenceCountResult,
     SortResult, TermVectorResult, WordCountResult,

@@ -33,14 +33,13 @@ impl Default for ParallelConfig {
     }
 }
 
-/// Partitions `num_files` file ids into `parts` contiguous chunks.
+/// Partitions `num_files` file ids into at most `parts` contiguous chunks.
+///
+/// Never produces an empty partition: the number of chunks is capped at
+/// `num_files`, and zero files yield zero partitions.
 pub fn partition_files(num_files: usize, parts: usize) -> Vec<Vec<FileId>> {
-    let parts = parts.max(1);
-    let mut out: Vec<Vec<FileId>> = vec![Vec::new(); parts.min(num_files.max(1))];
-    if num_files == 0 {
-        return out;
-    }
-    let n_parts = out.len();
+    let n_parts = parts.max(1).min(num_files);
+    let mut out: Vec<Vec<FileId>> = vec![Vec::new(); n_parts];
     for f in 0..num_files {
         out[f * n_parts / num_files].push(f as FileId);
     }
@@ -73,7 +72,6 @@ pub fn run_task_parallel(
     let partials: Vec<(AnalyticsOutput, WorkStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
-            .filter(|files| !files.is_empty())
             .map(|files| {
                 let fw = &fw;
                 let segments = &segments;
@@ -141,8 +139,8 @@ fn run_on_file_subset(
                 }
             }
             // Rule-local words scaled by occurrences within this partition.
-            for r in 1..dag.num_rules {
-                let occ: u64 = fw[r]
+            for (r, rule_fw) in fw.iter().enumerate().skip(1) {
+                let occ: u64 = rule_fw
                     .iter()
                     .filter(|(f, _)| file_set.contains(f))
                     .map(|(_, &c)| c)
@@ -176,8 +174,8 @@ fn run_on_file_subset(
                     }
                 }
             }
-            for r in 1..dag.num_rules {
-                for (&f, _) in fw[r].iter().filter(|(f, _)| file_set.contains(f)) {
+            for (r, rule_fw) in fw.iter().enumerate().skip(1) {
+                for (&f, _) in rule_fw.iter().filter(|(f, _)| file_set.contains(f)) {
                     for &(w, _) in &dag.local_words[r] {
                         sets.entry(w).or_default().insert(f);
                         work.table_ops += 1;
@@ -395,8 +393,23 @@ mod tests {
     #[test]
     fn partitioning_with_more_threads_than_files() {
         let parts = partition_files(2, 8);
+        assert_eq!(parts.len(), 2, "partitions are capped at the file count");
+        assert!(parts.iter().all(|p| !p.is_empty()));
         let total: usize = parts.iter().map(|p| p.len()).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn partitioning_zero_files_yields_no_partitions() {
+        assert!(partition_files(0, 4).is_empty());
+        assert!(partition_files(0, 0).is_empty());
+    }
+
+    #[test]
+    fn partitioning_zero_parts_is_clamped_to_one() {
+        let parts = partition_files(5, 0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub fn run_gpu_uncompressed(
         Task::InvertedIndex | Task::TermVector => (6, 1 << 18),
         Task::SequenceCount | Task::RankedInvertedIndex => (4 + 2 * cfg.sequence_length as u64, 1 << 20),
     };
-    let threads = (flat.len() + TOKENS_PER_THREAD - 1) / TOKENS_PER_THREAD;
+    let threads = flat.len().div_ceil(TOKENS_PER_THREAD);
     device.launch(
         LaunchConfig::with_threads(threads.max(1) as u64),
         &mut ScanKernel {

@@ -8,7 +8,9 @@
 //!
 //! * [`sequitur`] — Sequitur grammar compression and the TADOC archive format;
 //! * [`tadoc`] — the CPU TADOC baseline (six analytics tasks, sequential and
-//!   coarse-grained parallel) plus the CPU/cluster cost models;
+//!   coarse-grained parallel), the fine-grained parallel CPU engine
+//!   (level-synchronized DAG traversal with arena-backed tables), and the
+//!   CPU/cluster cost models;
 //! * [`gpu_sim`] — the SIMT GPU simulator substrate (Pascal/Volta/Turing);
 //! * [`gtadoc`] — G-TADOC itself: fine-grained thread scheduling, GPU memory
 //!   pool, thread-safe hash tables, head/tail sequence support, top-down and
@@ -56,6 +58,9 @@ pub mod prelude {
     pub use sequitur::compress::{compress_corpus, CompressOptions};
     pub use sequitur::{ArchiveStats, Dag, Grammar, Symbol, TadocArchive};
     pub use tadoc::apps::{run_task, Task, TaskConfig};
+    pub use tadoc::fine_grained::{
+        run_task_fine_grained, run_task_with_mode, ExecutionMode, FineGrainedConfig,
+    };
     pub use tadoc::results::AnalyticsOutput;
 }
 

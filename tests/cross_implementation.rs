@@ -1,10 +1,12 @@
 //! Cross-implementation integration tests: for every analytics task, the
 //! uncompressed oracle, sequential CPU TADOC, coarse-grained parallel TADOC,
-//! and G-TADOC (both traversal strategies where applicable, on all three GPU
-//! presets) must produce identical results.
+//! fine-grained parallel TADOC, and G-TADOC (both traversal strategies where
+//! applicable, on all three GPU presets) must produce identical results.
 
+use datagen::CorpusConfig;
 use g_tadoc_repro::prelude::*;
 use gtadoc::traversal::TraversalStrategy;
+use tadoc::fine_grained::{run_task_fine_grained, FineGrainedConfig};
 use tadoc::parallel::{run_task_parallel, ParallelConfig};
 
 fn corpora() -> Vec<(&'static str, Vec<(String, String)>)> {
@@ -83,6 +85,68 @@ fn all_implementations_agree_on_all_tasks() {
                 "[{name}] G-TADOC vs oracle on {}",
                 task.name()
             );
+        }
+    }
+}
+
+/// The fine-grained CPU engine must be byte-identical to the sequential and
+/// coarse-grained paths on every task, on the paper's Figure-1 corpus and on
+/// a Zipfian synthetic corpus, at several worker-pool sizes.
+#[test]
+fn fine_grained_equals_sequential_and_coarse_on_all_tasks() {
+    let figure1 = corpora().swap_remove(0).1;
+    let zipf = CorpusConfig {
+        name: "zipf".to_string(),
+        num_files: 6,
+        tokens_per_file: 600,
+        vocabulary: 400,
+        zipf_exponent: 1.1,
+        redundancy: 0.7,
+        ..Default::default()
+    };
+    let zipf_corpus = datagen::corpus::generate(&zipf);
+
+    let archives: Vec<(&str, TadocArchive)> = vec![
+        (
+            "figure1",
+            compress_corpus(&figure1, CompressOptions::default()),
+        ),
+        ("zipf", zipf_corpus.compress()),
+    ];
+
+    for (name, archive) in &archives {
+        let dag = Dag::from_grammar(&archive.grammar);
+        let cfg = TaskConfig::default();
+        for task in Task::ALL {
+            let sequential = run_task(archive, &dag, task, cfg);
+            let coarse = run_task_parallel(
+                archive,
+                &dag,
+                task,
+                cfg,
+                ParallelConfig { num_threads: 4 },
+            );
+            assert_eq!(
+                coarse.output,
+                sequential.output,
+                "[{name}] coarse vs sequential on {}",
+                task.name()
+            );
+            for threads in [1usize, 4, 8] {
+                let fine = run_task_fine_grained(
+                    archive,
+                    &dag,
+                    task,
+                    cfg,
+                    FineGrainedConfig::with_threads(threads),
+                );
+                assert_eq!(
+                    fine.output,
+                    sequential.output,
+                    "[{name}] fine ({threads} threads) vs sequential on {}",
+                    task.name()
+                );
+            }
         }
     }
 }
