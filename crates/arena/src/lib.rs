@@ -24,12 +24,47 @@
 //!
 //! The `gtadoc` crate re-exports these for the simulator backend; the
 //! `tadoc` fine-grained engine uses them directly on real threads.
+//!
+//! ## Table design: group probing over control tags
+//!
+//! Both table codecs share one Swiss-table-style probing core (the `probe`
+//! module): every slot owns a 1-byte control *tag* — `0` for empty, or
+//! `0x80 | top-7-hash-bits` for occupied — packed into `u32` words ahead of
+//! the key/value arrays.  A probe hashes the key with [`mix64`], picks a
+//! 16-slot *group* with a widening-multiply range reduction over the **full
+//! 64-bit hash** (no modulo, no discarded high bits), and scans all 16 tags
+//! of the group at once: with SSE2 on `x86_64` (`_mm_cmpeq_epi8` +
+//! `_mm_movemask_epi8`), or with an exact branch-free `u64` SWAR comparison
+//! everywhere else.  Candidate lanes are then confirmed against the key
+//! array.  Iteration walks the tag words and skips empty groups in one
+//! 16-lane test each, so scanning a sparsely filled table costs
+//! `O(capacity / 16)` word reads instead of a full key-array sweep.
+//!
+//! ## Sizing contract
+//!
+//! Capacity is guaranteed by the *consumer*, never grown by the table:
+//!
+//! * `words_required(max_keys)` returns the exact region length for a table
+//!   that can always hold `max_keys` distinct keys (2× slots for the load
+//!   factor, rounded up to a whole tag group).  The bounds come from the
+//!   initialization phase — `genLocTblBoundKernel` per rule on the GPU
+//!   path, the per-worker distinct-key prefix-scan on the CPU path.
+//! * `words_required(0) == 0`: a consumer with no keys gets a zero-length
+//!   region.  Zero-capacity tables are **legal no-ops** for `init`, `iter`,
+//!   `len` and `get`; only `insert_add` panics (with a clear message), since
+//!   an insert proves the consumer's bound was wrong.
+//! * A full table fails fast: the probe loop counts wrapped groups and
+//!   panics with the table's capacity and the offending key instead of
+//!   spinning forever.  Well-sized tables never take that path — the probe
+//!   always terminates at an empty lane first (the tables never delete, so
+//!   groups only ever fill up).
 
-/// SplitMix64 finalizer: a full-avalanche mix so that the *low* bits used for
-/// bucket selection depend on every input bit.  (A bare multiplicative hash
-/// leaves the low bits a function of only the low input bits, which makes
-/// packed multi-word sequence keys — identical last word, different prefix —
-/// collide into the same bucket and degenerate into long chains.)
+/// SplitMix64 finalizer: a full-avalanche mix so that *every* output bit used
+/// for group selection and control tags depends on every input bit.  (A bare
+/// multiplicative hash leaves the low bits a function of only the low input
+/// bits, which makes packed multi-word sequence keys — identical last word,
+/// different prefix — collide into the same bucket and degenerate into long
+/// chains.)
 #[inline]
 pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -150,232 +185,439 @@ impl MemoryPool {
     }
 }
 
-/// Operations on a private `u32 → u32` table stored inside a pool region.
+/// The group-probing core shared by [`local_table`] and [`flat64`].
 ///
-/// Region layout (in `u32` words): `[capacity, size, key0, val0, key1, val1, …]`
-/// with open addressing (linear probing) over the `capacity` pair slots.
-/// `u32::MAX` marks an empty key slot.
-pub mod local_table {
-    /// Marker for an empty slot.
-    pub const EMPTY_KEY: u32 = u32::MAX;
-    /// Fixed header length in words (capacity, size).
-    pub const HEADER_WORDS: u32 = 2;
+/// Control tags live in the region right after the two header words, one
+/// byte per slot packed little-endian into `u32` words ([`GROUP`] slots = 4
+/// tag words per group).  All group-scan primitives return a dense 16-bit
+/// lane mask (bit `i` = slot `group * GROUP + i`), whichever backend
+/// produced it.
+pub mod probe {
+    /// Slots scanned per probe step.  One SSE2 vector on `x86_64`; two `u64`
+    /// SWAR halves elsewhere.  The region layout is identical either way.
+    pub const GROUP: usize = 16;
+    /// Tag words per group (4 tag bytes per `u32`).
+    pub const GROUP_TAG_WORDS: usize = GROUP / 4;
+    /// Control tag of an empty slot.
+    pub const EMPTY_TAG: u8 = 0;
 
-    /// Number of `u32` words a table for `max_keys` distinct keys requires.
-    pub fn words_required(max_keys: u32) -> u32 {
-        // 2x slots for a comfortable load factor, 2 words per slot, plus header.
-        HEADER_WORDS + 2 * 2 * max_keys.max(1)
+    /// Control tag of an occupied slot: the top 7 hash bits with the high
+    /// bit forced so a stored tag can never equal [`EMPTY_TAG`].
+    #[inline]
+    pub fn tag_of(hash: u64) -> u8 {
+        0x80 | (hash >> 57) as u8
     }
 
-    /// Initialises a region as an empty table.
-    pub fn init(region: &mut [u32]) {
-        if region.len() < HEADER_WORDS as usize + 2 {
-            if let Some(first) = region.first_mut() {
-                *first = 0;
-            }
+    /// Home group for `hash` among `num_groups` groups: a widening-multiply
+    /// range reduction over the full 64-bit hash — no modulo in the hot
+    /// path, and the high hash bits participate instead of being discarded.
+    #[inline]
+    pub fn group_of(hash: u64, num_groups: u32) -> u32 {
+        (((hash as u128) * (num_groups as u128)) >> 64) as u32
+    }
+
+    const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+    const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+    /// Exact per-byte equality on 8 packed tags: returns an 8-bit lane mask
+    /// of the bytes of `v` equal to `b`.  Uses the carry-free
+    /// `((x & 0x7f…) + 0x7f…) | x` zero-byte test (no false positives, no
+    /// cross-byte borrows), then compresses the per-byte high bits into a
+    /// dense mask with a multiply.
+    #[inline]
+    fn swar_eq8(v: u64, b: u8) -> u32 {
+        let x = v ^ (SWAR_LO.wrapping_mul(b as u64));
+        let zero = !(((x & !SWAR_HI).wrapping_add(!SWAR_HI)) | x) & SWAR_HI;
+        // Gather the per-byte high bits into a dense 8-bit mask: with the
+        // match bits at positions 8i, the 0x0102…4080 multiplier places bit
+        // i at position 56+i, and no two partial products ever collide.
+        ((zero >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56) as u32
+    }
+
+    /// Portable 16-lane tag comparison (also the reference the SIMD path is
+    /// tested against): bit `i` of the result = `tag(slot i) == b`.
+    #[inline]
+    pub fn eq_mask_swar(tags: &[u32], group: usize, b: u8) -> u32 {
+        let base = group * GROUP_TAG_WORDS;
+        let lo = tags[base] as u64 | (tags[base + 1] as u64) << 32;
+        let hi = tags[base + 2] as u64 | (tags[base + 3] as u64) << 32;
+        swar_eq8(lo, b) | swar_eq8(hi, b) << 8
+    }
+
+    /// 16-lane tag comparison: SSE2 on `x86_64` (always available there),
+    /// SWAR elsewhere.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub fn eq_mask(tags: &[u32], group: usize, b: u8) -> u32 {
+        use core::arch::x86_64::{_mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi8};
+        let base = group * GROUP_TAG_WORDS;
+        debug_assert!(base + GROUP_TAG_WORDS <= tags.len());
+        // SAFETY: the four tag words of `group` are in bounds (asserted
+        // above); `_mm_loadu_si128` has no alignment requirement, and the
+        // little-endian byte view of the `u32` tag words matches the
+        // shift-based packing used by `set_tag`.
+        unsafe {
+            let ctrl = _mm_loadu_si128(tags.as_ptr().add(base).cast());
+            _mm_movemask_epi8(_mm_cmpeq_epi8(ctrl, _mm_set1_epi8(b as i8))) as u32 & 0xFFFF
+        }
+    }
+
+    /// 16-lane tag comparison: SSE2 on `x86_64`, SWAR elsewhere.
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    pub fn eq_mask(tags: &[u32], group: usize, b: u8) -> u32 {
+        eq_mask_swar(tags, group, b)
+    }
+
+    /// Lane mask of the occupied slots of a group.
+    #[inline]
+    pub fn occupied_mask(tags: &[u32], group: usize) -> u32 {
+        !eq_mask(tags, group, EMPTY_TAG) & 0xFFFF
+    }
+
+    /// Reads the control tag of `slot`.
+    #[inline]
+    pub fn get_tag(tags: &[u32], slot: usize) -> u8 {
+        (tags[slot / 4] >> (8 * (slot % 4))) as u8
+    }
+
+    /// Writes the control tag of `slot`.
+    #[inline]
+    pub fn set_tag(tags: &mut [u32], slot: usize, tag: u8) {
+        let shift = 8 * (slot % 4);
+        let word = &mut tags[slot / 4];
+        *word = (*word & !(0xFFu32 << shift)) | (tag as u32) << shift;
+    }
+}
+
+/// Shared region codec: layout, sizing, probing, iteration.  `VW` is the
+/// number of `u32` value words per slot (1 for [`local_table`], 2 for
+/// [`flat64`]).
+///
+/// Region layout (in `u32` words):
+/// `[capacity, len, tags (capacity/4 words), keys (capacity words),
+///   values (VW × capacity words)]`, capacity a multiple of
+/// [`probe::GROUP`] (or 0).
+mod table_core {
+    use super::probe;
+
+    pub const HEADER_WORDS: usize = 2;
+
+    /// Slots allocated for `max_keys` distinct keys: 2× for the load
+    /// factor, rounded up to whole groups; 0 for 0 keys.
+    fn slots_for(max_keys: u32) -> u64 {
+        if max_keys == 0 {
+            return 0;
+        }
+        (2 * max_keys as u64).div_ceil(probe::GROUP as u64) * probe::GROUP as u64
+    }
+
+    /// Region length (in `u32` words) for a table holding `max_keys`
+    /// distinct keys.  `words_required(0) == 0` — see the sizing contract.
+    pub fn words_required<const VW: usize>(max_keys: u32) -> u32 {
+        let slots = slots_for(max_keys);
+        if slots == 0 {
+            return 0;
+        }
+        let words = HEADER_WORDS as u64 + slots / 4 + slots * (1 + VW as u64);
+        // A real assert, not a debug_assert: silently truncating here would
+        // surface later as a bogus "bound violated" overflow panic.
+        assert!(
+            words <= u32::MAX as u64,
+            "table for {max_keys} keys exceeds 4G words; shard the dataset"
+        );
+        words as u32
+    }
+
+    /// Initialises a region as an empty table, deriving the capacity from
+    /// the region length (the inverse of [`words_required`], rounded down
+    /// to whole groups).  Zero-length and under-sized regions become legal
+    /// zero-capacity tables.
+    pub fn init<const VW: usize>(region: &mut [u32]) {
+        // words = 2 + cap/4 + cap*(1+VW)  =>  cap = (words-2)*4 / (4*(1+VW)+1)
+        let cap = if region.len() > HEADER_WORDS {
+            let cap = (region.len() - HEADER_WORDS) * 4 / (4 * (1 + VW) + 1);
+            cap / probe::GROUP * probe::GROUP
+        } else {
+            0
+        };
+        if region.is_empty() {
             return;
         }
-        let capacity = ((region.len() - HEADER_WORDS as usize) / 2) as u32;
-        region[0] = capacity;
-        region[1] = 0;
-        for slot in 0..capacity as usize {
-            region[HEADER_WORDS as usize + 2 * slot] = EMPTY_KEY;
-            region[HEADER_WORDS as usize + 2 * slot + 1] = 0;
+        region[0] = cap as u32;
+        if let Some(len) = region.get_mut(1) {
+            *len = 0;
         }
+        // Only the control tags need clearing: keys and values are written
+        // before they are ever read (`insert_add` stores, not adds, on the
+        // first touch of a slot).
+        if cap > 0 {
+            region[HEADER_WORDS..HEADER_WORDS + cap / 4].fill(0);
+        }
+    }
+
+    /// Capacity in slots (0 for empty/under-sized regions).
+    #[inline]
+    pub fn capacity(region: &[u32]) -> u32 {
+        if region.len() > HEADER_WORDS {
+            region[0]
+        } else {
+            0
+        }
+    }
+
+    /// Number of distinct keys stored.
+    #[inline]
+    pub fn len(region: &[u32]) -> u32 {
+        if region.len() > HEADER_WORDS {
+            region[1]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn tags_end(cap: usize) -> usize {
+        HEADER_WORDS + cap / 4
+    }
+
+    #[inline]
+    fn key_base(cap: usize) -> usize {
+        tags_end(cap)
+    }
+
+    #[inline]
+    fn value_base<const VW: usize>(cap: usize, slot: usize) -> usize {
+        tags_end(cap) + cap + VW * slot
+    }
+
+    /// Finds `key`'s slot, inserting it if absent.  Returns the word index
+    /// of the slot's value area and whether the slot is fresh.
+    ///
+    /// # Panics
+    /// Panics on zero capacity, and when the probe wraps the whole table
+    /// (table full) — both mean the consumer's sizing bound was violated.
+    pub fn find_or_insert<const VW: usize>(region: &mut [u32], key: u32) -> (usize, bool) {
+        let cap = capacity(region) as usize;
+        assert!(
+            cap > 0,
+            "insert into zero-capacity table (key {key}): the consumer sized this region for 0 keys"
+        );
+        let num_groups = (cap / probe::GROUP) as u32;
+        let hash = super::mix64(key as u64);
+        let tag = probe::tag_of(hash);
+        let mut g = probe::group_of(hash, num_groups) as usize;
+        let (tags, rest) = region[HEADER_WORDS..].split_at_mut(cap / 4);
+        let keys = &mut rest[..cap];
+        // Wrapped-probe detection: a well-sized table terminates at an
+        // empty lane long before `num_groups` steps.
+        for _ in 0..num_groups {
+            let mut eq = probe::eq_mask(tags, g, tag);
+            while eq != 0 {
+                let slot = g * probe::GROUP + eq.trailing_zeros() as usize;
+                if keys[slot] == key {
+                    return (value_base::<VW>(cap, slot), false);
+                }
+                eq &= eq - 1;
+            }
+            let empty = probe::eq_mask(tags, g, probe::EMPTY_TAG);
+            if empty != 0 {
+                let slot = g * probe::GROUP + empty.trailing_zeros() as usize;
+                probe::set_tag(tags, slot, tag);
+                keys[slot] = key;
+                region[1] += 1;
+                return (value_base::<VW>(cap, slot), true);
+            }
+            g += 1;
+            if g == num_groups as usize {
+                g = 0;
+            }
+        }
+        panic!(
+            "table overflow inserting key {key}: capacity {cap} slots, {} keys stored \
+             (the consumer's distinct-key bound was violated)",
+            len(region)
+        );
+    }
+
+    /// Finds `key`'s slot without inserting.  Returns the word index of the
+    /// slot's value area.
+    pub fn find<const VW: usize>(region: &[u32], key: u32) -> Option<usize> {
+        let cap = capacity(region) as usize;
+        if cap == 0 {
+            return None;
+        }
+        let num_groups = (cap / probe::GROUP) as u32;
+        let hash = super::mix64(key as u64);
+        let tag = probe::tag_of(hash);
+        let mut g = probe::group_of(hash, num_groups) as usize;
+        let tags = &region[HEADER_WORDS..tags_end(cap)];
+        let keys = &region[key_base(cap)..key_base(cap) + cap];
+        for _ in 0..num_groups {
+            let mut eq = probe::eq_mask(tags, g, tag);
+            while eq != 0 {
+                let slot = g * probe::GROUP + eq.trailing_zeros() as usize;
+                if keys[slot] == key {
+                    return Some(value_base::<VW>(cap, slot));
+                }
+                eq &= eq - 1;
+            }
+            if probe::eq_mask(tags, g, probe::EMPTY_TAG) != 0 {
+                return None;
+            }
+            g += 1;
+            if g == num_groups as usize {
+                g = 0;
+            }
+        }
+        None
+    }
+
+    /// Iterates over the occupied slots as `(key, value word index)` pairs,
+    /// skipping empty groups with one 16-lane tag test each (the compact
+    /// merge-scan of the tentpole: sparse tables cost `O(capacity/16)`
+    /// instead of a full sweep).
+    pub fn iter<const VW: usize>(
+        region: &[u32],
+    ) -> impl Iterator<Item = (u32, usize)> + '_ {
+        let cap = capacity(region) as usize;
+        let num_groups = cap / probe::GROUP;
+        let tags_end = tags_end(cap);
+        (0..num_groups).flat_map(move |g| {
+            let mut occ = probe::occupied_mask(&region[HEADER_WORDS..tags_end], g);
+            std::iter::from_fn(move || {
+                if occ == 0 {
+                    return None;
+                }
+                let slot = g * probe::GROUP + occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                Some((region[key_base(cap) + slot], value_base::<VW>(cap, slot)))
+            })
+        })
+    }
+}
+
+/// Operations on a private `u32 → u32` table stored inside a pool region.
+///
+/// Group-probing open addressing over 1-word values; see the crate docs for
+/// the shared layout and the sizing contract (`words_required(0) == 0`,
+/// zero-capacity tables are no-ops except for `insert_add`, full tables
+/// panic instead of spinning).
+pub mod local_table {
+    use super::table_core;
+
+    const VW: usize = 1;
+
+    /// Fixed header length in words (capacity, size).
+    pub const HEADER_WORDS: u32 = table_core::HEADER_WORDS as u32;
+
+    /// Number of `u32` words a table for `max_keys` distinct keys requires
+    /// (0 for 0 keys).
+    pub fn words_required(max_keys: u32) -> u32 {
+        table_core::words_required::<VW>(max_keys)
+    }
+
+    /// Initialises a region as an empty table (no-op on zero-length
+    /// regions).
+    pub fn init(region: &mut [u32]) {
+        table_core::init::<VW>(region);
     }
 
     /// Adds `count` to `key`'s entry (inserting it if absent).
     ///
     /// # Panics
-    /// Panics if the table is full — the bounds computed by
-    /// `genLocTblBoundKernel` guarantee this cannot happen for well-formed
-    /// inputs.
+    /// Panics if the table has zero capacity or is full — the bounds
+    /// computed during the initialization phase (`genLocTblBoundKernel`)
+    /// guarantee this cannot happen for well-formed inputs.
     pub fn insert_add(region: &mut [u32], key: u32, count: u32) {
-        let capacity = region[0];
-        assert!(capacity > 0, "local table has no capacity");
-        let mut slot = (super::mix64(key as u64) as u32) % capacity;
-        for _ in 0..capacity {
-            let base = (HEADER_WORDS + 2 * slot) as usize;
-            if region[base] == EMPTY_KEY {
-                region[base] = key;
-                region[base + 1] = count;
-                region[1] += 1;
-                return;
-            }
-            if region[base] == key {
-                region[base + 1] += count;
-                return;
-            }
-            slot = (slot + 1) % capacity;
+        let (base, fresh) = table_core::find_or_insert::<VW>(region, key);
+        if fresh {
+            region[base] = count;
+        } else {
+            region[base] += count;
         }
-        panic!("local table overflow (capacity {capacity})");
     }
 
     /// Number of distinct keys stored.
     pub fn len(region: &[u32]) -> u32 {
-        if region.len() < HEADER_WORDS as usize {
-            0
-        } else {
-            region[1]
-        }
+        table_core::len(region)
     }
 
-    /// Iterates over `(key, count)` pairs.
+    /// Iterates over `(key, count)` pairs in slot order.
     pub fn iter(region: &[u32]) -> impl Iterator<Item = (u32, u32)> + '_ {
-        let capacity = if region.len() >= HEADER_WORDS as usize {
-            region[0] as usize
-        } else {
-            0
-        };
-        (0..capacity).filter_map(move |slot| {
-            let base = HEADER_WORDS as usize + 2 * slot;
-            if region[base] == EMPTY_KEY {
-                None
-            } else {
-                Some((region[base], region[base + 1]))
-            }
-        })
+        table_core::iter::<VW>(region).map(|(k, base)| (k, region[base]))
     }
 
     /// Looks up the count stored for `key`.
     pub fn get(region: &[u32], key: u32) -> Option<u32> {
-        let capacity = region[0];
-        if capacity == 0 {
-            return None;
-        }
-        let mut slot = (super::mix64(key as u64) as u32) % capacity;
-        for _ in 0..capacity {
-            let base = (HEADER_WORDS + 2 * slot) as usize;
-            if region[base] == EMPTY_KEY {
-                return None;
-            }
-            if region[base] == key {
-                return Some(region[base + 1]);
-            }
-            slot = (slot + 1) % capacity;
-        }
-        None
+        table_core::find::<VW>(region, key).map(|base| region[base])
     }
 }
 
 /// Operations on a private `u32 → u64` table stored inside a pool region.
 ///
-/// Same open-addressing design as [`local_table`], but values are 64-bit so
-/// the fine-grained CPU engine can accumulate analytics counts (word
-/// frequency × rule weight) without overflow.  Region layout (in `u32`
-/// words): `[capacity, size, key0, lo0, hi0, key1, lo1, hi1, …]` — three
-/// words per slot.
+/// Same group-probing design as [`local_table`], but values are 64-bit (two
+/// words, little-endian lo/hi) so the fine-grained CPU engine can accumulate
+/// analytics counts (word frequency × rule weight) without overflow.
 pub mod flat64 {
-    /// Marker for an empty slot.
-    pub const EMPTY_KEY: u32 = u32::MAX;
+    use super::table_core;
+
+    const VW: usize = 2;
+
     /// Fixed header length in words (capacity, size).
-    pub const HEADER_WORDS: u32 = 2;
-    const SLOT_WORDS: u32 = 3;
+    pub const HEADER_WORDS: u32 = table_core::HEADER_WORDS as u32;
 
-    /// Number of `u32` words a table for `max_keys` distinct keys requires.
+    /// Number of `u32` words a table for `max_keys` distinct keys requires
+    /// (0 for 0 keys).
     pub fn words_required(max_keys: u32) -> u32 {
-        // 2x slots for a comfortable load factor, 3 words per slot, plus header.
-        HEADER_WORDS + SLOT_WORDS * 2 * max_keys.max(1)
+        table_core::words_required::<VW>(max_keys)
     }
 
-    /// Initialises a region as an empty table.
+    /// Initialises a region as an empty table (no-op on zero-length
+    /// regions).
     pub fn init(region: &mut [u32]) {
-        if region.len() < (HEADER_WORDS + SLOT_WORDS) as usize {
-            if let Some(first) = region.first_mut() {
-                *first = 0;
-            }
-            return;
-        }
-        let capacity = ((region.len() - HEADER_WORDS as usize) / SLOT_WORDS as usize) as u32;
-        region[0] = capacity;
-        region[1] = 0;
-        for slot in 0..capacity as usize {
-            region[HEADER_WORDS as usize + SLOT_WORDS as usize * slot] = EMPTY_KEY;
-        }
-    }
-
-    #[inline]
-    fn write_value(region: &mut [u32], base: usize, value: u64) {
-        region[base + 1] = value as u32;
-        region[base + 2] = (value >> 32) as u32;
+        table_core::init::<VW>(region);
     }
 
     #[inline]
     fn read_value(region: &[u32], base: usize) -> u64 {
-        region[base + 1] as u64 | (region[base + 2] as u64) << 32
+        region[base] as u64 | (region[base + 1] as u64) << 32
+    }
+
+    #[inline]
+    fn write_value(region: &mut [u32], base: usize, value: u64) {
+        region[base] = value as u32;
+        region[base + 1] = (value >> 32) as u32;
     }
 
     /// Adds `count` to `key`'s entry (inserting it if absent).
     ///
     /// # Panics
-    /// Panics if the table is full — capacity bounds are computed during the
-    /// initialization phase exactly as on the GPU.
+    /// Panics if the table has zero capacity or is full — capacity bounds
+    /// are computed during the initialization phase exactly as on the GPU.
     pub fn insert_add(region: &mut [u32], key: u32, count: u64) {
-        let capacity = region[0];
-        assert!(capacity > 0, "flat64 table has no capacity");
-        let mut slot = (super::mix64(key as u64) as u32) % capacity;
-        for _ in 0..capacity {
-            let base = (HEADER_WORDS + SLOT_WORDS * slot) as usize;
-            if region[base] == EMPTY_KEY {
-                region[base] = key;
-                write_value(region, base, count);
-                region[1] += 1;
-                return;
-            }
-            if region[base] == key {
-                let v = read_value(region, base) + count;
-                write_value(region, base, v);
-                return;
-            }
-            slot = (slot + 1) % capacity;
-        }
-        panic!("flat64 table overflow (capacity {capacity})");
+        let (base, fresh) = table_core::find_or_insert::<VW>(region, key);
+        let value = if fresh {
+            count
+        } else {
+            read_value(region, base) + count
+        };
+        write_value(region, base, value);
     }
 
     /// Number of distinct keys stored.
     pub fn len(region: &[u32]) -> u32 {
-        if region.len() < HEADER_WORDS as usize {
-            0
-        } else {
-            region[1]
-        }
+        table_core::len(region)
     }
 
     /// Iterates over `(key, value)` pairs in slot order.
     pub fn iter(region: &[u32]) -> impl Iterator<Item = (u32, u64)> + '_ {
-        let capacity = if region.len() >= HEADER_WORDS as usize {
-            region[0] as usize
-        } else {
-            0
-        };
-        (0..capacity).filter_map(move |slot| {
-            let base = HEADER_WORDS as usize + SLOT_WORDS as usize * slot;
-            if region[base] == EMPTY_KEY {
-                None
-            } else {
-                Some((region[base], read_value(region, base)))
-            }
-        })
+        table_core::iter::<VW>(region).map(|(k, base)| (k, read_value(region, base)))
     }
 
     /// Looks up the value stored for `key`.
     pub fn get(region: &[u32], key: u32) -> Option<u64> {
-        let capacity = region[0];
-        if capacity == 0 {
-            return None;
-        }
-        let mut slot = (super::mix64(key as u64) as u32) % capacity;
-        for _ in 0..capacity {
-            let base = (HEADER_WORDS + SLOT_WORDS * slot) as usize;
-            if region[base] == EMPTY_KEY {
-                return None;
-            }
-            if region[base] == key {
-                return Some(read_value(region, base));
-            }
-            slot = (slot + 1) % capacity;
-        }
-        None
+        table_core::find::<VW>(region, key).map(|base| read_value(region, base))
     }
 }
 
@@ -459,6 +701,123 @@ mod tests {
         assert_eq!(flat64::len(&region), 32);
         for k in 0..32u32 {
             assert_eq!(flat64::get(&region, 1000 + k), Some(k as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_tables_are_legal_no_ops() {
+        assert_eq!(local_table::words_required(0), 0);
+        assert_eq!(flat64::words_required(0), 0);
+        let mut region: Vec<u32> = Vec::new();
+        local_table::init(&mut region);
+        flat64::init(&mut region);
+        assert_eq!(local_table::len(&region), 0);
+        assert_eq!(flat64::len(&region), 0);
+        assert_eq!(local_table::iter(&region).count(), 0);
+        assert_eq!(flat64::iter(&region).count(), 0);
+        assert_eq!(local_table::get(&region, 7), None);
+        assert_eq!(flat64::get(&region, 7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity table")]
+    fn local_table_zero_capacity_insert_panics_clearly() {
+        let mut region: Vec<u32> = Vec::new();
+        local_table::init(&mut region);
+        local_table::insert_add(&mut region, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity table")]
+    fn flat64_zero_capacity_insert_panics_clearly() {
+        let mut region: Vec<u32> = Vec::new();
+        flat64::init(&mut region);
+        flat64::insert_add(&mut region, 1, 1);
+    }
+
+    /// Fills a table to its *entire* slot capacity (beyond the nominal 2×
+    /// load-factor bound): every slot must be usable, lookups must stay
+    /// correct at 100% fill, and one further insert must trip the
+    /// wrapped-probe overflow detection rather than spinning forever.
+    #[test]
+    fn exactly_full_local_table_still_works() {
+        let mut region = vec![0u32; local_table::words_required(24) as usize];
+        local_table::init(&mut region);
+        let cap = region[0];
+        assert!(cap >= 48);
+        for k in 0..cap {
+            local_table::insert_add(&mut region, k * 31 + 7, k + 1);
+        }
+        assert_eq!(local_table::len(&region), cap);
+        for k in 0..cap {
+            assert_eq!(local_table::get(&region, k * 31 + 7), Some(k + 1));
+        }
+        assert_eq!(local_table::get(&region, 1), None, "absent key on a full table");
+        assert_eq!(local_table::iter(&region).count(), cap as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "table overflow")]
+    fn local_table_overflow_panics_with_context() {
+        let mut region = vec![0u32; local_table::words_required(8) as usize];
+        local_table::init(&mut region);
+        let cap = region[0];
+        for k in 0..=cap {
+            local_table::insert_add(&mut region, k * 31 + 7, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "table overflow")]
+    fn flat64_overflow_panics_with_context() {
+        let mut region = vec![0u32; flat64::words_required(8) as usize];
+        flat64::init(&mut region);
+        let cap = region[0];
+        for k in 0..=cap {
+            flat64::insert_add(&mut region, k * 31 + 7, 1);
+        }
+    }
+
+    #[test]
+    fn probe_simd_matches_swar_reference() {
+        // One group of 16 tags with repeats, empties and high-bit values.
+        let bytes: [u8; 16] = [
+            0x80, 0x00, 0xA5, 0xFF, 0x80, 0x00, 0x91, 0xA5, 0x00, 0x80, 0xFF, 0xC3, 0x00, 0x00,
+            0xA5, 0x80,
+        ];
+        let mut tags = [0u32; probe::GROUP_TAG_WORDS];
+        for (slot, &b) in bytes.iter().enumerate() {
+            probe::set_tag(&mut tags, slot, b);
+        }
+        for (slot, &b) in bytes.iter().enumerate() {
+            assert_eq!(probe::get_tag(&tags, slot), b, "slot {slot}");
+        }
+        for needle in [0x00u8, 0x80, 0xA5, 0xFF, 0x91, 0xC3, 0x81] {
+            let expected: u32 = bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b == needle)
+                .map(|(i, _)| 1u32 << i)
+                .sum();
+            assert_eq!(probe::eq_mask(&tags, 0, needle), expected, "simd {needle:#x}");
+            assert_eq!(
+                probe::eq_mask_swar(&tags, 0, needle),
+                expected,
+                "swar {needle:#x}"
+            );
+        }
+        assert_eq!(
+            probe::occupied_mask(&tags, 0),
+            !probe::eq_mask_swar(&tags, 0, 0) & 0xFFFF
+        );
+    }
+
+    #[test]
+    fn probe_tags_are_never_empty_and_groups_in_range() {
+        for k in 0..10_000u64 {
+            let h = mix64(k);
+            assert_ne!(probe::tag_of(h), probe::EMPTY_TAG);
+            assert!(probe::group_of(h, 7) < 7);
         }
     }
 

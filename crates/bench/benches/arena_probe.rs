@@ -1,0 +1,101 @@
+//! Micro-bench for the arena table layer: group-probing insert/lookup
+//! throughput and the tag-skipping merge scan, the two hot paths of the
+//! fine-grained engine's word-count traversal.  The sparse-iteration case is
+//! the one the per-worker sizing change targets — before this layer existed,
+//! every merge walked `threads × full-vocabulary` capacity.
+
+use arena::{flat64, local_table};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Deterministic well-spread key stream (odd-constant multiply).
+fn key(i: u32) -> u32 {
+    i.wrapping_mul(2654435761)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_insert_add");
+    group.sample_size(10);
+    for &keys in &[1_000u32, 10_000] {
+        group.bench_function(BenchmarkId::new("flat64", keys), |b| {
+            let mut region = vec![0u32; flat64::words_required(keys) as usize];
+            b.iter(|| {
+                flat64::init(&mut region);
+                for i in 0..keys {
+                    flat64::insert_add(&mut region, key(i % (keys / 2)), 1);
+                }
+                black_box(flat64::len(&region))
+            });
+        });
+        group.bench_function(BenchmarkId::new("local_table", keys), |b| {
+            let mut region = vec![0u32; local_table::words_required(keys) as usize];
+            b.iter(|| {
+                local_table::init(&mut region);
+                for i in 0..keys {
+                    local_table::insert_add(&mut region, key(i % (keys / 2)), 1);
+                }
+                black_box(local_table::len(&region))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_merge_scan");
+    group.sample_size(10);
+    // A table sized for 10k keys holding only 100: the shape of a worker
+    // region after per-worker sizing went wrong (or before it existed).
+    for &(capacity_keys, live) in &[(10_000u32, 100u32), (10_000, 10_000)] {
+        let mut region = vec![0u32; flat64::words_required(capacity_keys) as usize];
+        flat64::init(&mut region);
+        for i in 0..live {
+            flat64::insert_add(&mut region, key(i), i as u64 + 1);
+        }
+        group.bench_function(
+            BenchmarkId::new("flat64_iter", format!("{live}of{capacity_keys}")),
+            |b| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for (_k, v) in flat64::iter(&region) {
+                        sum = sum.wrapping_add(v);
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_get");
+    group.sample_size(10);
+    let keys = 10_000u32;
+    let mut region = vec![0u32; flat64::words_required(keys) as usize];
+    flat64::init(&mut region);
+    for i in 0..keys {
+        flat64::insert_add(&mut region, key(i), 1);
+    }
+    group.bench_function("flat64_hit", |b| {
+        b.iter(|| {
+            let mut found = 0u32;
+            for i in 0..keys {
+                found += flat64::get(&region, key(i)).is_some() as u32;
+            }
+            black_box(found)
+        });
+    });
+    group.bench_function("flat64_miss", |b| {
+        b.iter(|| {
+            let mut found = 0u32;
+            for i in keys..2 * keys {
+                found += flat64::get(&region, key(i)).is_some() as u32;
+            }
+            black_box(found)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_merge_scan, bench_get);
+criterion_main!(benches);

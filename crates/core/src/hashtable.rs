@@ -13,7 +13,11 @@
 //! * [`local_table`] — the *private* per-rule tables that live inside the
 //!   G-TADOC memory pool.  As the paper notes, a table owned by a single
 //!   thread needs no locks, so these are compact open-addressing tables laid
-//!   out directly in a pool region.
+//!   out directly in a pool region.  The codec uses the `arena` crate's
+//!   group-probing core (16-slot control-tag groups, SIMD-scanned) and its
+//!   sizing contract: `genLocTblBoundKernel`'s bounds guarantee capacity,
+//!   `words_required(0) == 0` regions are legal no-ops, and a violated
+//!   bound panics (wrapped-probe detection) instead of spinning.
 
 use arena::mix64;
 use gpu_sim::ThreadCtx;

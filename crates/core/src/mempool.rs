@@ -10,7 +10,10 @@
 //! The pool layout itself is backend-agnostic and lives in the [`arena`]
 //! crate (the fine-grained CPU engine carves per-worker tables out of the
 //! same structure); this module wraps it with the simulated-device memory
-//! accounting.
+//! accounting.  Region sizing follows the arena sizing contract: consumers
+//! pass `words_required(bound)` per table (0 words for 0 keys — the root's
+//! region, or a worker with no assigned rules), and the tables trust those
+//! bounds absolutely.
 
 use gpu_sim::Device;
 

@@ -132,6 +132,36 @@ where
     });
 }
 
+/// Splits `0..costs.len()` into `parts` contiguous ranges of near-equal
+/// total cost by cutting the prefix-scan of `costs` at the `total × w /
+/// parts` boundaries.  Used to statically assign rules to workers so each
+/// worker's arena table can be sized by *its own* distinct-key bound (the
+/// sum of its rules' costs) instead of the full vocabulary.  Ranges may be
+/// empty (their tables get zero capacity); together they cover the index
+/// space exactly once.
+pub fn partition_by_cost(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let total: u64 = costs.iter().sum();
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut prefix = 0u64;
+    for part in 0..parts {
+        let target = total * (part as u64 + 1) / parts as u64;
+        let mut end = start;
+        while end < costs.len() && prefix < target {
+            prefix += costs[end];
+            end += 1;
+        }
+        if part + 1 == parts {
+            // Trailing zero-cost items belong to the last part.
+            end = costs.len();
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
 /// The hash shard (in `0..shards`) a 64-bit key belongs to during the global
 /// merge: each merge worker owns one shard, so no two workers ever touch the
 /// same key — the merge needs no locks.
@@ -192,6 +222,35 @@ mod tests {
             total.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(total.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn partition_by_cost_covers_exactly_and_balances() {
+        let costs: Vec<u64> = (0..100).map(|i| (i % 7) as u64 + 1).collect();
+        let total: u64 = costs.iter().sum();
+        for parts in [1usize, 3, 8, 200] {
+            let ranges = partition_by_cost(&costs, parts);
+            assert_eq!(ranges.len(), parts);
+            let mut next = 0usize;
+            for range in &ranges {
+                assert_eq!(range.start, next, "{parts} parts: contiguous coverage");
+                next = range.end;
+                let cost: u64 = costs[range.clone()].iter().sum();
+                assert!(
+                    cost <= total / parts as u64 + 7,
+                    "{parts} parts: range {range:?} cost {cost} exceeds fair share"
+                );
+            }
+            assert_eq!(next, costs.len());
+        }
+    }
+
+    #[test]
+    fn partition_by_cost_handles_degenerate_inputs() {
+        assert_eq!(partition_by_cost(&[], 3), vec![0..0, 0..0, 0..0]);
+        assert_eq!(partition_by_cost(&[0, 0, 0], 2), vec![0..0, 0..3]);
+        assert_eq!(partition_by_cost(&[5], 4), vec![0..1, 1..1, 1..1, 1..1]);
+        assert_eq!(partition_by_cost(&[1, 1], 0), vec![0..2]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ use crate::weights::file_segments;
 use arena::flat64;
 use head_tail::{build_head_tail, levels_top_down};
 use sequences::{count_root_chunk, count_rule_local, root_chunks, RootChunk};
-use sequitur::fxhash::{FxHashMap, FxHashSet};
+use sequitur::fxhash::FxHashMap;
 use sequitur::{Dag, Grammar, Symbol, TadocArchive, WordId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -317,39 +317,51 @@ fn word_count_fine(
     let n = dag.num_rules;
 
     // Phase 1: initialization — weights via the level-synchronized top-down
-    // traversal, plus one arena region per worker sized for the vocabulary
-    // (the CPU analogue of genLocTblBoundKernel's per-rule bounds).
+    // traversal, plus one arena region per worker sized by a *per-worker
+    // distinct-key bound* (the CPU analogue of genLocTblBoundKernel's
+    // per-rule bounds): rules are statically partitioned across workers by
+    // a prefix-scan over their local-word counts, and each worker's table
+    // holds at most the sum of its own rules' distinct words, capped by the
+    // vocabulary.  This shrinks both the pool and the merge scan from
+    // `threads × vocabulary` to the actual distinct-key total.
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
     let weights = parallel_rule_weights(dag, threads, &mut init_work);
-    let vocab = archive.vocabulary_size().max(1) as u32;
-    let table_words = flat64::words_required(vocab);
-    let mut pool = arena::MemoryPool::from_requirements(&vec![table_words; threads]);
+    let vocab = archive.vocabulary_size() as u64;
+    let costs: Vec<u64> = (0..n).map(|r| dag.local_words[r].len() as u64).collect();
+    let ranges = exec::partition_by_cost(&costs, threads);
+    let requirements: Vec<u32> = ranges
+        .iter()
+        .map(|range| {
+            let bound: u64 = costs[range.clone()].iter().sum();
+            flat64::words_required(bound.min(vocab) as u32)
+        })
+        .collect();
+    let mut pool = arena::MemoryPool::from_requirements(&requirements);
     init_work.bytes_moved += pool.total_words() as u64 * 4;
     let init = init_timer.elapsed();
 
     // Phase 2: traversal — every rule contributes local_words × weight into
     // its worker's private table; each worker then buckets its own table
-    // once (a single linear scan) for the sharded lock-free merge.
+    // once (a tag-skipping scan of its compact region) for the sharded
+    // lock-free merge.
     let trav_timer = Timer::start();
-    let queue = exec::WorkQueue::new(n, 64);
-    let regions = pool.split_regions();
+    let inputs: Vec<(&mut [u32], std::ops::Range<usize>)> =
+        pool.split_regions().into_iter().zip(ranges).collect();
     let locals: Vec<(Vec<FxHashMap<WordId, u64>>, WorkStats)> =
-        exec::parallel_map_workers(regions, |_w, region| {
+        exec::parallel_map_workers(inputs, |_w, (region, range)| {
             flat64::init(region);
             let mut stats = WorkStats::default();
-            while let Some(range) = queue.next() {
-                for r in range {
-                    let weight = weights[r];
-                    if weight == 0 {
-                        continue;
-                    }
-                    for &(w, c) in &dag.local_words[r] {
-                        flat64::insert_add(region, w, c as u64 * weight);
-                        stats.table_ops += 1;
-                    }
-                    stats.elements_scanned += dag.rule_lengths[r] as u64;
+            for r in range {
+                let weight = weights[r];
+                if weight == 0 {
+                    continue;
                 }
+                for &(w, c) in &dag.local_words[r] {
+                    flat64::insert_add(region, w, c as u64 * weight);
+                    stats.table_ops += 1;
+                }
+                stats.elements_scanned += dag.rule_lengths[r] as u64;
             }
             let mut shards: Vec<FxHashMap<WordId, u64>> =
                 (0..threads).map(|_| FxHashMap::default()).collect();
@@ -394,6 +406,35 @@ fn word_count_fine(
 // inverted index
 // ---------------------------------------------------------------------------
 
+/// An append-mostly posting accumulator: file ids are pushed with duplicates
+/// allowed (a slice append per (rule, word) beats a hash-set insert per
+/// (rule, word, file)), and the buffer compacts itself — sort + dedup in
+/// place — whenever it doubles past its last compacted size.  The amortized
+/// compaction keeps a worker's memory proportional to the *distinct*
+/// (word, file) pairs it owns, not to the total occurrence stream, which on
+/// highly shared grammars can be orders of magnitude larger.
+#[derive(Debug, Default)]
+struct PostingBuf {
+    files: Vec<FileId>,
+    compact_at: usize,
+}
+
+impl PostingBuf {
+    /// Buffers below this never self-compact — the merge dedups them in one
+    /// sort anyway, and re-sorting small growing lists costs more than it
+    /// saves.
+    const COMPACT_FLOOR: usize = 1024;
+
+    fn append(&mut self, files: &[FileId]) {
+        self.files.extend_from_slice(files);
+        if self.files.len() >= self.compact_at.max(Self::COMPACT_FLOOR) {
+            self.files.sort_unstable();
+            self.files.dedup();
+            self.compact_at = 2 * self.files.len();
+        }
+    }
+}
+
 fn inverted_index_fine(
     archive: &TadocArchive,
     dag: &Dag,
@@ -410,14 +451,18 @@ fn inverted_index_fine(
     let init = init_timer.elapsed();
 
     let trav_timer = Timer::start();
-    // Work item space: non-root rules first, then root segments.
+    // Work item space: non-root rules first, then root segments.  Posting
+    // candidates are *appended* (duplicates allowed) and deduplicated by
+    // [`PostingBuf`] — a slice append per (rule, word) is far cheaper than
+    // a hash-set insert per (rule, word, file), and the merge was already
+    // sorting every posting list anyway.
     let num_rule_items = n.saturating_sub(1);
     let queue = exec::WorkQueue::new(num_rule_items + segments.len(), 64);
     let root = grammar.root();
-    type PostingSets = Vec<FxHashMap<WordId, FxHashSet<FileId>>>;
-    let locals: Vec<(PostingSets, WorkStats)> =
+    type PostingLists = Vec<FxHashMap<WordId, PostingBuf>>;
+    let locals: Vec<(PostingLists, WorkStats)> =
         exec::parallel_collect(threads, |_w| {
-            let mut shards: PostingSets =
+            let mut shards: PostingLists =
                 (0..threads).map(|_| FxHashMap::default()).collect();
             let mut stats = WorkStats::default();
             while let Some(range) = queue.next() {
@@ -427,13 +472,13 @@ fn inverted_index_fine(
                         if fw[r].is_empty() {
                             continue;
                         }
+                        let files: Vec<FileId> = fw[r].keys().copied().collect();
                         for &(w, _) in &dag.local_words[r] {
-                            let shard = &mut shards[exec::shard_of(w as u64, threads)];
-                            let set = shard.entry(w).or_default();
-                            for &f in fw[r].keys() {
-                                set.insert(f);
-                                stats.table_ops += 1;
-                            }
+                            shards[exec::shard_of(w as u64, threads)]
+                                .entry(w)
+                                .or_default()
+                                .append(&files);
+                            stats.table_ops += files.len() as u64;
                         }
                         stats.elements_scanned += dag.rule_lengths[r] as u64;
                     } else {
@@ -445,7 +490,7 @@ fn inverted_index_fine(
                                 shards[exec::shard_of(w as u64, threads)]
                                     .entry(w)
                                     .or_default()
-                                    .insert(fid);
+                                    .append(&[fid]);
                                 stats.table_ops += 1;
                             }
                         }
@@ -457,20 +502,17 @@ fn inverted_index_fine(
 
     let mut traversal_work = WorkStats::default();
     let shard_postings = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
-        let mut merged: FxHashMap<WordId, FxHashSet<FileId>> = FxHashMap::default();
+        let mut merged: FxHashMap<WordId, Vec<FileId>> = FxHashMap::default();
         for map in pieces {
-            for (w, files) in map {
-                merged.entry(w).or_default().extend(files);
+            for (w, buf) in map {
+                merged.entry(w).or_default().extend(buf.files);
             }
         }
+        for list in merged.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
         merged
-            .into_iter()
-            .map(|(w, set)| {
-                let mut v: Vec<FileId> = set.into_iter().collect();
-                v.sort_unstable();
-                (w, v)
-            })
-            .collect::<FxHashMap<WordId, Vec<FileId>>>()
     });
     let postings = collect_shards(shard_postings, &mut traversal_work);
     let traversal = trav_timer.elapsed();

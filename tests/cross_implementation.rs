@@ -151,6 +151,67 @@ fn fine_grained_equals_sequential_and_coarse_on_all_tasks() {
     }
 }
 
+/// An archive containing an empty file (alongside tiny and normal files)
+/// must agree across sequential, coarse and fine on **all six tasks** and at
+/// 1/4/8 worker threads.  The empty file makes region sizing degenerate —
+/// workers can end up with zero assigned rules, so their arena tables get
+/// `words_required(0) == 0` regions, exercising the zero-capacity contract
+/// on the production path (the historical mod-by-zero panic of the probe
+/// loop).
+#[test]
+fn empty_file_archive_agrees_on_all_tasks_at_all_thread_counts() {
+    let corpus = vec![
+        ("empty".to_string(), String::new()),
+        ("tiny".to_string(), "x".to_string()),
+        ("normal".to_string(), "x y z x y z x y".to_string()),
+        ("empty_too".to_string(), String::new()),
+    ];
+    let archive = compress_corpus(&corpus, CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let files = archive.grammar.expand_files();
+    let cfg = TaskConfig::default();
+    for task in Task::ALL {
+        let (oracle_out, _) = uncompressed::cpu::run_cpu_uncompressed(&files, task, cfg);
+        let sequential = run_task(&archive, &dag, task, cfg);
+        assert_eq!(
+            sequential.output,
+            oracle_out,
+            "sequential vs oracle on {} with an empty file",
+            task.name()
+        );
+        for threads in [1usize, 4, 8] {
+            let coarse = run_task_parallel(
+                &archive,
+                &dag,
+                task,
+                cfg,
+                ParallelConfig {
+                    num_threads: threads,
+                },
+            );
+            assert_eq!(
+                coarse.output,
+                sequential.output,
+                "coarse ({threads} threads) vs sequential on {} with an empty file",
+                task.name()
+            );
+            let fine = run_task_fine_grained(
+                &archive,
+                &dag,
+                task,
+                cfg,
+                FineGrainedConfig::with_threads(threads),
+            );
+            assert_eq!(
+                fine.output,
+                sequential.output,
+                "fine ({threads} threads) vs sequential on {} with an empty file",
+                task.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn both_gpu_traversal_strategies_agree_on_every_platform() {
     let corpus = corpora().remove(1).1;

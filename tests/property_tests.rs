@@ -134,6 +134,66 @@ proptest! {
         }
     }
 
+    // Adversarial fill factors for the arena tables: `max_keys` sized
+    // exactly for the number of distinct keys inserted (the tightest legal
+    // bound, including 0), duplicate-heavy insert streams, and values past
+    // 32 bits for `flat64`.  Iteration must agree with the model too — it
+    // drives every merge scan in the fine-grained engine.
+    #[test]
+    fn flat64_behaves_like_a_map_at_tight_capacity(
+        keys in vec(0u32..30, 0..30),
+        reps in 1usize..6,
+    ) {
+        let distinct: std::collections::BTreeSet<u32> = keys.iter().copied().collect();
+        let mut region = vec![0u32; arena::flat64::words_required(distinct.len() as u32) as usize];
+        arena::flat64::init(&mut region);
+        let mut model = std::collections::HashMap::new();
+        let big = u32::MAX as u64; // force 64-bit accumulation
+        for _ in 0..reps {
+            for &key in &keys {
+                arena::flat64::insert_add(&mut region, key, big + key as u64);
+                *model.entry(key).or_insert(0u64) += big + key as u64;
+            }
+        }
+        prop_assert_eq!(arena::flat64::len(&region) as usize, model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(arena::flat64::get(&region, *k), Some(*v));
+        }
+        let mut pairs: Vec<(u32, u64)> = arena::flat64::iter(&region).collect();
+        pairs.sort_unstable();
+        let mut expected: Vec<(u32, u64)> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(pairs, expected);
+    }
+
+    // Same adversarial shapes for the `u32 → u32` codec, driven straight to
+    // 100% slot occupancy: every slot of the region must be usable when the
+    // consumer's bound is exact.
+    #[test]
+    fn local_table_survives_exact_fill(extra in 0u32..40, seed in 0u32..1000) {
+        let max_keys = extra; // includes 0: a zero-capacity table
+        let mut region = vec![0u32; local_table::words_required(max_keys) as usize];
+        local_table::init(&mut region);
+        if max_keys == 0 {
+            prop_assert_eq!(region.len(), 0);
+            prop_assert_eq!(local_table::len(&region), 0);
+            prop_assert_eq!(local_table::iter(&region).count(), 0);
+            return Ok(());
+        }
+        // Fill to the full slot capacity (2× the nominal bound), not just
+        // `max_keys` — the table must honour every allocated slot.
+        let cap = region[0];
+        for i in 0..cap {
+            local_table::insert_add(&mut region, seed.wrapping_add(i.wrapping_mul(2654435761)), 1);
+        }
+        prop_assert_eq!(local_table::len(&region), cap);
+        prop_assert_eq!(local_table::iter(&region).count() as u32, cap);
+        for i in 0..cap {
+            let key = seed.wrapping_add(i.wrapping_mul(2654435761));
+            prop_assert_eq!(local_table::get(&region, key), Some(1));
+        }
+    }
+
     #[test]
     fn memory_pool_regions_never_overlap(reqs in vec(0u32..50, 0..60)) {
         let device = gpu_sim::Device::new(GpuSpec::gtx_1080());
