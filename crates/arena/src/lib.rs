@@ -59,6 +59,31 @@
 //!   always terminates at an empty lane first (the tables never delete, so
 //!   groups only ever fill up).
 
+//!
+//! ## Example
+//!
+//! One pool, one region per worker, sized during the initialization phase:
+//!
+//! ```
+//! use arena::{flat64, MemoryPool};
+//!
+//! // Worker 0 expects at most 8 distinct keys; worker 1 expects none.
+//! let requirements = [flat64::words_required(8), flat64::words_required(0)];
+//! let mut pool = MemoryPool::from_requirements(&requirements);
+//! let mut regions = pool.split_regions();
+//!
+//! flat64::init(regions[0]);
+//! flat64::insert_add(regions[0], 42, 5);
+//! flat64::insert_add(regions[0], 42, 5);
+//! assert_eq!(flat64::get(regions[0], 42), Some(10));
+//!
+//! // `words_required(0) == 0`: the no-key worker legally gets a
+//! // zero-length region, and init/iter/len/get are no-ops on it.
+//! assert_eq!(regions[1].len(), 0);
+//! flat64::init(regions[1]);
+//! assert_eq!(flat64::len(regions[1]), 0);
+//! ```
+
 /// SplitMix64 finalizer: a full-avalanche mix so that *every* output bit used
 /// for group selection and control tags depends on every input bit.  (A bare
 /// multiplicative hash leaves the low bits a function of only the low input
@@ -188,7 +213,7 @@ impl MemoryPool {
 /// The group-probing core shared by [`local_table`] and [`flat64`].
 ///
 /// Control tags live in the region right after the two header words, one
-/// byte per slot packed little-endian into `u32` words ([`GROUP`] slots = 4
+/// byte per slot packed little-endian into `u32` words ([`GROUP`](probe::GROUP) slots = 4
 /// tag words per group).  All group-scan primitives return a dense 16-bit
 /// lane mask (bit `i` = slot `group * GROUP + i`), whichever backend
 /// produced it.
@@ -351,6 +376,22 @@ mod table_core {
         // Only the control tags need clearing: keys and values are written
         // before they are ever read (`insert_add` stores, not adds, on the
         // first touch of a slot).
+        if cap > 0 {
+            region[HEADER_WORDS..HEADER_WORDS + cap / 4].fill(0);
+        }
+    }
+
+    /// Resets an initialised table to empty while keeping its capacity:
+    /// clears the length and the control tags (`O(capacity / 4)` word
+    /// writes, no capacity re-derivation).  For consumers that reuse one
+    /// fixed-size region across consecutive accumulations; a consumer whose
+    /// per-round bound *varies* should instead re-[`init`] a sub-slice
+    /// sized for the round.  A no-op on zero-capacity regions.
+    pub fn clear(region: &mut [u32]) {
+        let cap = capacity(region) as usize;
+        if region.len() > HEADER_WORDS {
+            region[1] = 0;
+        }
         if cap > 0 {
             region[HEADER_WORDS..HEADER_WORDS + cap / 4].fill(0);
         }
@@ -523,6 +564,12 @@ pub mod local_table {
         table_core::init::<VW>(region);
     }
 
+    /// Empties an initialised table without re-deriving its capacity — the
+    /// cheap way to reuse one region for many consecutive accumulations.
+    pub fn clear(region: &mut [u32]) {
+        table_core::clear(region);
+    }
+
     /// Adds `count` to `key`'s entry (inserting it if absent).
     ///
     /// # Panics
@@ -577,6 +624,21 @@ pub mod flat64 {
     /// regions).
     pub fn init(region: &mut [u32]) {
         table_core::init::<VW>(region);
+    }
+
+    /// Empties an initialised table without re-deriving its capacity — the
+    /// cheap way to reuse one region for many consecutive accumulations.
+    ///
+    /// ```
+    /// let mut region = vec![0u32; arena::flat64::words_required(4) as usize];
+    /// arena::flat64::init(&mut region);
+    /// arena::flat64::insert_add(&mut region, 7, 1);
+    /// arena::flat64::clear(&mut region);
+    /// assert_eq!(arena::flat64::len(&region), 0);
+    /// assert_eq!(arena::flat64::get(&region, 7), None);
+    /// ```
+    pub fn clear(region: &mut [u32]) {
+        table_core::clear(region);
     }
 
     #[inline]
@@ -702,6 +764,36 @@ mod tests {
         for k in 0..32u32 {
             assert_eq!(flat64::get(&region, 1000 + k), Some(k as u64 + 1));
         }
+    }
+
+    #[test]
+    fn clear_resets_tables_for_reuse() {
+        let mut region = vec![0u32; flat64::words_required(8) as usize];
+        flat64::init(&mut region);
+        for k in 0..8u32 {
+            flat64::insert_add(&mut region, k, k as u64 + 1);
+        }
+        let cap = region[0];
+        flat64::clear(&mut region);
+        assert_eq!(region[0], cap, "clear must keep the capacity");
+        assert_eq!(flat64::len(&region), 0);
+        assert_eq!(flat64::iter(&region).count(), 0);
+        for k in 0..8u32 {
+            assert_eq!(flat64::get(&region, k), None);
+        }
+        flat64::insert_add(&mut region, 3, 9);
+        assert_eq!(flat64::get(&region, 3), Some(9));
+
+        let mut small = vec![0u32; local_table::words_required(2) as usize];
+        local_table::init(&mut small);
+        local_table::insert_add(&mut small, 11, 4);
+        local_table::clear(&mut small);
+        assert_eq!(local_table::len(&small), 0);
+
+        // Zero-capacity clears are legal no-ops, like init.
+        let mut empty: Vec<u32> = Vec::new();
+        local_table::clear(&mut empty);
+        flat64::clear(&mut empty);
     }
 
     #[test]

@@ -527,6 +527,9 @@ impl ModeCell {
 pub struct FineGrainedReport {
     /// Dataset label (Table II letter).
     pub dataset: String,
+    /// Dataset scale factor the corpus was generated at (recorded so the
+    /// committed JSON documents how to regenerate itself).
+    pub scale: f64,
     /// Number of files in the generated corpus.
     pub num_files: usize,
     /// Total token count of the corpus.
@@ -598,6 +601,7 @@ pub fn fine_grained_report(
 
     FineGrainedReport {
         dataset: id.label().to_string(),
+        scale: scale.0,
         num_files: prepared.corpus.files.len(),
         total_tokens: prepared.corpus.total_tokens(),
         threads,
@@ -639,8 +643,8 @@ pub fn fine_grained_json(reports: &[FineGrainedReport]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"fine_grained_cpu\",\n  \"unit\": \"ns\",\n  \"datasets\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\n      \"dataset\": \"{}\",\n      \"num_files\": {},\n      \"total_tokens\": {},\n      \"threads\": {},\n      \"reps\": {},\n      \"apps\": [\n",
-            r.dataset, r.num_files, r.total_tokens, r.threads, r.reps
+            "    {{\n      \"dataset\": \"{}\",\n      \"scale\": {:.3},\n      \"num_files\": {},\n      \"total_tokens\": {},\n      \"threads\": {},\n      \"reps\": {},\n      \"apps\": [\n",
+            r.dataset, r.scale, r.num_files, r.total_tokens, r.threads, r.reps
         ));
         for (j, c) in r.cells.iter().enumerate() {
             out.push_str(&format!(

@@ -11,7 +11,7 @@
 //! The implementation uses an index-based doubly-linked arena of symbol nodes
 //! with one *guard* node per rule (the circular-list trick of the reference
 //! implementation), and routes **every** `next`-pointer update through
-//! [`Sequitur::link`], which first un-registers the digram starting at the
+//! `Sequitur::link`, which first un-registers the digram starting at the
 //! left node.  That single discipline keeps the digram index consistent under
 //! all splicing operations.
 

@@ -99,6 +99,32 @@ pub struct TaskExecution {
 }
 
 /// Runs `task` sequentially on compressed data (the TADOC baseline).
+///
+/// ```
+/// use sequitur::compress::{compress_corpus, CompressOptions};
+/// use sequitur::Dag;
+/// use tadoc::apps::{run_task, Task, TaskConfig};
+/// use tadoc::results::AnalyticsOutput;
+///
+/// let corpus = vec![
+///     ("a.txt".to_string(), "to be or not to be".to_string()),
+///     ("b.txt".to_string(), "to be sure".to_string()),
+/// ];
+/// let archive = compress_corpus(&corpus, CompressOptions::default());
+/// let dag = Dag::from_grammar(&archive.grammar);
+///
+/// // All six tasks run directly on the compressed archive.
+/// for task in Task::ALL {
+///     let exec = run_task(&archive, &dag, task, TaskConfig::default());
+///     assert_eq!(exec.output.task_name(), task.name());
+/// }
+///
+/// let wc = run_task(&archive, &dag, Task::WordCount, TaskConfig::default());
+/// if let AnalyticsOutput::WordCount(counts) = &wc.output {
+///     let to = archive.dictionary.get("to").unwrap();
+///     assert_eq!(counts.counts[&to], 3);
+/// }
+/// ```
 pub fn run_task(
     archive: &TadocArchive,
     dag: &Dag,

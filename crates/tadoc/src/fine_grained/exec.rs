@@ -1,17 +1,42 @@
-//! Scoped worker-pool primitives for the fine-grained engine.
+//! Persistent worker-pool executor for the fine-grained engine.
 //!
 //! The GPU runs one SIMT thread per rule; on the CPU we approximate the same
-//! fine-grained schedule with a small pool of scoped OS threads pulling
-//! dynamically sized chunks of the rule (or file, or chunk) index space from
-//! a shared atomic cursor.  Chunked claiming keeps the load balanced the way
-//! the paper's thread groups do — a worker that lands on cheap rules simply
+//! fine-grained schedule with a small pool of OS threads pulling dynamically
+//! sized chunks of the rule (or file, or chunk) index space from a shared
+//! atomic cursor.  Chunked claiming keeps the load balanced the way the
+//! paper's thread groups do — a worker that lands on cheap rules simply
 //! claims more chunks — without any per-rule synchronization.
+//!
+//! The pool is **persistent**: [`WorkerPool::new`] spawns its helper threads
+//! once, parks them on a condvar, and every subsequent phase or DAG level is
+//! dispatched as an *epoch* — a generation-counted barrier round — over the
+//! same threads.  Earlier revisions spawned a fresh `thread::scope` per
+//! level, which made the per-level spawn cost dominate small DAG levels;
+//! with epochs, waking a parked thread is all a level costs, and worker `w`
+//! of one level is the same OS thread as worker `w` of the next, so arena
+//! regions handed out per worker stay thread-pinned across levels.
+//!
+//! An epoch is the level barrier of the traversal: [`WorkerPool::run`] does
+//! not return until every worker has finished the epoch, so every write a
+//! worker makes during a level is visible to the caller and to all workers
+//! of the next level.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// A dynamic chunk dispenser over the index range `0..n`.
+///
+/// ```
+/// use tadoc::fine_grained::exec::WorkQueue;
+///
+/// let queue = WorkQueue::new(10, 4);
+/// assert_eq!(queue.next(), Some(0..4));
+/// assert_eq!(queue.next(), Some(4..8));
+/// assert_eq!(queue.next(), Some(8..10));
+/// assert_eq!(queue.next(), None);
+/// ```
 #[derive(Debug)]
 pub struct WorkQueue {
     cursor: AtomicUsize,
@@ -39,106 +64,345 @@ impl WorkQueue {
     }
 }
 
-/// Runs `f(worker_id)` once per worker on `threads` scoped threads (worker 0
-/// runs on the calling thread) and returns the results in worker order.
+/// Type-erased pointer to one epoch's job closure.
 ///
-/// The scope join at the end is the level barrier of the traversal: every
-/// write a worker makes before returning is visible to the caller and to all
-/// workers of the next phase.
-pub fn parallel_collect<R, F>(threads: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let threads = threads.max(1);
-    if threads == 1 {
-        return vec![f(0)];
-    }
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(threads));
-    std::thread::scope(|scope| {
-        for w in 1..threads {
-            let f = &f;
-            let results = &results;
-            scope.spawn(move || {
-                let r = f(w);
-                results.lock().expect("worker result mutex poisoned").push((w, r));
-            });
-        }
-        let r = f(0);
-        results.lock().expect("worker result mutex poisoned").push((0, r));
-    });
-    let mut results = results.into_inner().expect("worker result mutex poisoned");
-    results.sort_unstable_by_key(|&(w, _)| w);
-    results.into_iter().map(|(_, r)| r).collect()
+/// The pointee is only dereferenced between the epoch announcement and the
+/// worker's completion signal, a window during which [`WorkerPool::run`] is
+/// still blocked and the borrow it erased is therefore still live.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared `&`-calls from many threads are
+// fine), and the pointer itself is only ever read while `run` keeps the
+// underlying closure alive — see `JobPtr`'s doc comment.
+unsafe impl Send for JobPtr {}
+
+/// Barrier generation state shared between the caller and the parked
+/// helper threads.
+struct EpochState {
+    /// Generation counter: incremented once per dispatched epoch.
+    epoch: u64,
+    /// The current epoch's job (present while an epoch is in flight).
+    job: Option<JobPtr>,
+    /// Helper threads still running the current epoch.
+    remaining: usize,
+    /// First panic payload caught from a helper this epoch (re-thrown on
+    /// the calling thread once the barrier completes).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once, on drop: helpers exit instead of waiting for a new epoch.
+    shutdown: bool,
 }
 
-/// Hands one owned input to each worker (`f(worker_id, input)`) and returns
-/// the results in worker order.  Used to move each worker's disjoint arena
-/// region into its thread.
-pub fn parallel_map_workers<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(inputs.len()));
-    std::thread::scope(|scope| {
-        let mut first: Option<(usize, T)> = None;
-        for (w, input) in inputs.into_iter().enumerate() {
-            if w == 0 {
-                first = Some((w, input));
-                continue;
+struct PoolShared {
+    state: Mutex<EpochState>,
+    /// Helpers park here waiting for the next epoch (or shutdown).
+    start: Condvar,
+    /// The caller parks here waiting for `remaining == 0`.
+    done: Condvar,
+}
+
+const POOL_MUTEX_MSG: &str = "worker pool mutex poisoned";
+
+/// A persistent pool of parked worker threads dispatching jobs as
+/// generation-counted barrier epochs.
+///
+/// Worker 0 is the calling thread; `threads - 1` helper threads are spawned
+/// once and parked between epochs.  Worker ids are stable across epochs
+/// (worker `w` is always the same OS thread), which is what lets arena
+/// regions handed out per worker stay thread-pinned across DAG levels.
+///
+/// ```
+/// use tadoc::fine_grained::exec::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// // Three epochs over the same four workers — no threads are spawned
+/// // after `new`.
+/// let squares = pool.collect(|w| w * w);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// let sum = std::sync::atomic::AtomicUsize::new(0);
+/// pool.for_range(1000, |i| {
+///     sum.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+/// let doubled = pool.map_workers(vec![1, 2, 3, 4], |_w, x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("epochs", &self.epochs())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers total (the calling thread plus
+    /// `threads - 1` parked helpers; `threads` is clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(EpochState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fine-worker-{w}"))
+                    .spawn(move || helper_loop(&shared, w))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total number of workers, including the calling thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of epochs (barrier generations) dispatched to the helper
+    /// threads so far.  Single-threaded pools run everything inline and
+    /// never dispatch an epoch.
+    pub fn epochs(&self) -> u64 {
+        self.shared.state.lock().expect(POOL_MUTEX_MSG).epoch
+    }
+
+    /// Runs `f(worker_id)` once per worker as one barrier epoch (worker 0 on
+    /// the calling thread) and blocks until every worker has finished — the
+    /// level barrier of the traversal.
+    ///
+    /// Panics propagate like `thread::scope`: a panic in any worker
+    /// (including worker 0) is re-thrown on the calling thread, and the
+    /// barrier is always completed first, so the job closure is never
+    /// referenced after `run` unwinds.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        // SAFETY: erasing the borrow's lifetime is sound because this
+        // function only returns (or unwinds — see `EpochGuard`) after every
+        // helper has signalled completion (`remaining == 0`), and helpers
+        // never touch the job pointer after signalling — so the pointee
+        // outlives every dereference.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const (dyn Fn(usize) + Sync))
+        });
+        {
+            let mut st = self.shared.state.lock().expect(POOL_MUTEX_MSG);
+            debug_assert_eq!(st.remaining, 0, "epoch dispatched while one is in flight");
+            st.job = Some(job);
+            st.remaining = self.handles.len();
+            st.panic = None;
+            st.epoch += 1;
+            self.shared.start.notify_all();
+        }
+        // Wait out the barrier even if worker 0's share panics below: the
+        // helpers are still dereferencing the lifetime-erased job pointer,
+        // so unwinding past it before `remaining == 0` would be a
+        // use-after-free.
+        struct EpochGuard<'a>(&'a PoolShared);
+        impl Drop for EpochGuard<'_> {
+            fn drop(&mut self) {
+                let mut st = self.0.state.lock().expect(POOL_MUTEX_MSG);
+                while st.remaining > 0 {
+                    st = self.0.done.wait(st).expect(POOL_MUTEX_MSG);
+                }
+                st.job = None;
             }
-            let f = &f;
-            let results = &results;
-            scope.spawn(move || {
-                let r = f(w, input);
-                results.lock().expect("worker result mutex poisoned").push((w, r));
-            });
         }
-        if let Some((w, input)) = first {
-            let r = f(w, input);
-            results.lock().expect("worker result mutex poisoned").push((w, r));
+        let guard = EpochGuard(&self.shared);
+        f(0);
+        drop(guard);
+        let payload = self.shared.state.lock().expect(POOL_MUTEX_MSG).panic.take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
         }
-    });
-    let mut results = results.into_inner().expect("worker result mutex poisoned");
-    results.sort_unstable_by_key(|&(w, _)| w);
-    results.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Runs `f(i)` for every `i in 0..n` across the worker pool with dynamic
-/// chunking.  Small ranges run inline on the caller: spawning threads for a
-/// near-empty DAG level would cost more than the level itself.
-pub fn parallel_for_range<F>(n: usize, threads: usize, f: F)
-where
-    F: Fn(usize) + Sync,
-{
-    const INLINE_THRESHOLD: usize = 32;
-    let threads = threads.max(1);
-    if threads == 1 || n <= INLINE_THRESHOLD {
-        for i in 0..n {
-            f(i);
-        }
-        return;
     }
-    let chunk = (n / (threads * 8)).clamp(1, 4096);
-    let queue = WorkQueue::new(n, chunk);
-    parallel_collect(threads, |_| {
-        while let Some(range) = queue.next() {
-            for i in range {
+
+    /// Runs `f(worker_id)` once per worker and returns the results in worker
+    /// order.
+    pub fn collect<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = (0..self.threads).map(|_| Mutex::new(None)).collect();
+        self.run(&|w| {
+            let r = f(w);
+            *slots[w].lock().expect("worker result slot poisoned") = Some(r);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker result slot poisoned")
+                    .expect("worker finished without a result")
+            })
+            .collect()
+    }
+
+    /// Hands one owned input to each worker (`f(worker_id, input)`) and
+    /// returns the results in worker order.  Used to move each worker's
+    /// disjoint arena region into its thread; because worker ids are stable,
+    /// region `w` lands on the same OS thread in every phase.
+    ///
+    /// Accepts at most [`Self::threads`] inputs; workers beyond the input
+    /// count idle through the epoch.
+    pub fn map_workers<T, R, F>(&self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = inputs.len();
+        assert!(
+            n <= self.threads,
+            "map_workers got {n} inputs for a pool of {} workers",
+            self.threads
+        );
+        type Slot<T, R> = Mutex<(Option<T>, Option<R>)>;
+        let slots: Vec<Slot<T, R>> = inputs
+            .into_iter()
+            .map(|t| Mutex::new((Some(t), None)))
+            .collect();
+        self.run(&|w| {
+            if w >= n {
+                return;
+            }
+            let input = slots[w]
+                .lock()
+                .expect("worker input slot poisoned")
+                .0
+                .take()
+                .expect("worker input consumed twice");
+            let r = f(w, input);
+            slots[w].lock().expect("worker input slot poisoned").1 = Some(r);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker input slot poisoned")
+                    .1
+                    .expect("worker finished without a result")
+            })
+            .collect()
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` across the worker pool with dynamic
+    /// chunking.  Small ranges run inline on the caller: even waking parked
+    /// threads costs more than a near-empty DAG level itself.
+    pub fn for_range<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        const INLINE_THRESHOLD: usize = 32;
+        if self.handles.is_empty() || n <= INLINE_THRESHOLD {
+            for i in 0..n {
                 f(i);
             }
+            return;
         }
-    });
+        let chunk = (n / (self.threads * 8)).clamp(1, 4096);
+        let queue = WorkQueue::new(n, chunk);
+        self.run(&|_| {
+            while let Some(range) = queue.next() {
+                for i in range {
+                    f(i);
+                }
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect(POOL_MUTEX_MSG);
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of one parked helper thread: wait for the next epoch generation (or
+/// shutdown), run the job, signal completion, park again.
+fn helper_loop(shared: &PoolShared, worker: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect(POOL_MUTEX_MSG);
+            while !st.shutdown && st.epoch == seen {
+                st = shared.start.wait(st).expect(POOL_MUTEX_MSG);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.epoch;
+            st.job.expect("epoch announced without a job")
+        };
+        // SAFETY: `run` keeps the closure alive until this worker (and all
+        // others) decrement `remaining` below.  Panics are caught so the
+        // barrier always completes (a missing decrement would deadlock the
+        // caller) and re-thrown on the calling thread; `AssertUnwindSafe`
+        // matches `thread::scope` semantics — the panic propagates, and the
+        // epoch's shared state is discarded with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (unsafe { &*job.0 })(worker)
+        }));
+        let mut st = shared.state.lock().expect(POOL_MUTEX_MSG);
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
 }
 
 /// Splits `0..costs.len()` into `parts` contiguous ranges of near-equal
 /// total cost by cutting the prefix-scan of `costs` at the `total × w /
-/// parts` boundaries.  Used to statically assign rules to workers so each
-/// worker's arena table can be sized by *its own* distinct-key bound (the
-/// sum of its rules' costs) instead of the full vocabulary.  Ranges may be
-/// empty (their tables get zero capacity); together they cover the index
+/// parts` boundaries.  Used to statically assign rules (or files) to workers
+/// so each worker's arena table can be sized by *its own* distinct-key bound
+/// (the sum of its items' costs) instead of the full vocabulary.  Ranges may
+/// be empty (their tables get zero capacity); together they cover the index
 /// space exactly once.
+///
+/// ```
+/// use tadoc::fine_grained::exec::partition_by_cost;
+///
+/// let ranges = partition_by_cost(&[3, 1, 1, 1, 3, 3], 3);
+/// assert_eq!(ranges, vec![0..2, 2..5, 5..6]);
+/// ```
 pub fn partition_by_cost(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1);
     let total: u64 = costs.iter().sum();
@@ -200,15 +464,17 @@ mod tests {
     }
 
     #[test]
-    fn parallel_collect_returns_worker_order() {
-        let out = parallel_collect(4, |w| w * 10);
+    fn collect_returns_worker_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.collect(|w| w * 10);
         assert_eq!(out, vec![0, 10, 20, 30]);
     }
 
     #[test]
-    fn parallel_map_workers_moves_inputs() {
+    fn map_workers_moves_inputs() {
+        let pool = WorkerPool::new(2);
         let regions = vec![vec![0u32; 2], vec![0u32; 3]];
-        let out = parallel_map_workers(regions, |w, mut r| {
+        let out = pool.map_workers(regions, |w, mut r| {
             r.fill(w as u32 + 1);
             r
         });
@@ -216,12 +482,92 @@ mod tests {
     }
 
     #[test]
-    fn parallel_for_sums_correctly() {
+    fn map_workers_accepts_fewer_inputs_than_workers() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map_workers(vec![5u32], |w, x| (w, x));
+        assert_eq!(out, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn for_range_sums_correctly() {
+        let pool = WorkerPool::new(4);
         let total = AtomicU64::new(0);
-        parallel_for_range(1000, 4, |i| {
+        pool.for_range(1000, |i| {
             total.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(total.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn epochs_count_barrier_generations_and_threads_persist() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.epochs(), 0);
+        // Worker ids must be stable across epochs: record each epoch's
+        // (worker id -> thread id) mapping and compare.
+        let first: Vec<(usize, std::thread::ThreadId)> =
+            pool.collect(|w| (w, std::thread::current().id()));
+        for _ in 0..100 {
+            let again: Vec<(usize, std::thread::ThreadId)> =
+                pool.collect(|w| (w, std::thread::current().id()));
+            assert_eq!(again, first, "worker ids must stay pinned to OS threads");
+        }
+        assert_eq!(pool.epochs(), 101);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_without_epochs() {
+        let pool = WorkerPool::new(1);
+        let out = pool.collect(|w| w);
+        assert_eq!(out, vec![0]);
+        pool.for_range(100, |_| {});
+        assert_eq!(pool.epochs(), 0, "no helpers, no epochs");
+    }
+
+    #[test]
+    fn tiny_ranges_run_inline_without_an_epoch() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        pool.for_range(8, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 28);
+        assert_eq!(pool.epochs(), 0, "a near-empty level must not pay a barrier");
+    }
+
+    #[test]
+    fn helper_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 3 {
+                    panic!("helper boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "helper panic must reach the caller");
+        // The barrier completed despite the panic, so the pool is reusable.
+        assert_eq!(pool.collect(|w| w), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn caller_panic_completes_barrier_before_unwinding() {
+        let pool = WorkerPool::new(4);
+        let finished = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 0 {
+                    panic!("caller boom");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err(), "worker 0's panic must propagate");
+        // run() must not unwind while helpers still reference the job: all
+        // three helpers finished their (slower) share before the panic
+        // escaped.
+        assert_eq!(finished.load(Ordering::SeqCst), 3);
+        assert_eq!(pool.collect(|w| w * 2), vec![0, 2, 4, 6]);
     }
 
     #[test]

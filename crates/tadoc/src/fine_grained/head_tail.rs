@@ -7,11 +7,11 @@
 //! CPU engine gets the same dependency order for free from the DAG layers:
 //! a rule's buffers only depend on its sub-rules', and every sub-rule lives
 //! in a strictly deeper layer, so processing layers deepest-first with a
-//! barrier between layers (the scope join in
-//! [`exec::parallel_for_range`](super::exec::parallel_for_range)) is exactly
+//! barrier between layers (the epoch barrier of
+//! [`WorkerPool::for_range`](super::exec::WorkerPool::for_range)) is exactly
 //! the level-synchronized schedule of the paper.
 
-use super::exec;
+use super::exec::WorkerPool;
 use crate::timing::WorkStats;
 use sequitur::{Dag, Grammar, Symbol};
 use std::sync::Mutex;
@@ -121,12 +121,13 @@ fn assemble_rule(
     }
 }
 
-/// Builds the head/tail buffers with level-synchronized bottom-up parallelism.
+/// Builds the head/tail buffers with level-synchronized bottom-up
+/// parallelism, each level one epoch of the persistent worker pool.
 pub fn build_head_tail(
     grammar: &Grammar,
     dag: &Dag,
     l: usize,
-    threads: usize,
+    pool: &WorkerPool,
     work: &mut WorkStats,
 ) -> HeadTail {
     assert!(l >= 1, "sequence length must be at least 1");
@@ -143,7 +144,7 @@ pub fn build_head_tail(
         // Everything this level reads (children's buffers) was written in a
         // previous iteration; the level's own writes land after the barrier.
         let results: Mutex<Vec<(u32, RuleBuffers)>> = Mutex::new(Vec::with_capacity(level.len()));
-        exec::parallel_for_range(level.len(), threads, |i| {
+        pool.for_range(level.len(), |i| {
             let r = level[i];
             let built = assemble_rule(
                 &grammar.rules[r as usize],
@@ -214,11 +215,12 @@ mod tests {
     #[test]
     fn heads_and_tails_match_true_expansions() {
         for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
             for l in [1usize, 2, 3] {
                 let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
                 let dag = Dag::from_grammar(&archive.grammar);
                 let mut work = WorkStats::default();
-                let ht = build_head_tail(&archive.grammar, &dag, l, threads, &mut work);
+                let ht = build_head_tail(&archive.grammar, &dag, l, &pool, &mut work);
                 let keep = l - 1;
                 for r in 1..dag.num_rules as u32 {
                     let full = archive.grammar.expand_rule_words(r);

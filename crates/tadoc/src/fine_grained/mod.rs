@@ -5,14 +5,19 @@
 //! file-partition parallelism of [`crate::parallel`] with the design the
 //! paper argues for:
 //!
-//! 1. **Level-synchronized DAG traversal.**  Rules are grouped by dependency
-//!    depth ([`head_tail::levels_top_down`] / [`head_tail::levels_bottom_up`]);
-//!    all rules of one level are processed in parallel across the worker
-//!    pool, and the scoped-thread join between levels plays the role of the
+//! 1. **Level-synchronized DAG traversal on a persistent worker pool.**
+//!    Rules are grouped by dependency depth ([`head_tail::levels_top_down`]
+//!    / [`head_tail::levels_bottom_up`]); all rules of one level are
+//!    processed in parallel across one long-lived [`exec::WorkerPool`]
+//!    (parked threads, created once per engine run), and the pool's
+//!    generation-counted epoch barrier between levels plays the role of the
 //!    GPU's mask/stop-flag round barrier (Algorithm 1 top-down for
 //!    rule/file weights, Algorithm 2 bottom-up for head/tail assembly —
 //!    `rule.numOutEdge` ordering falls out of the layer grouping, since every
 //!    child sits in a strictly deeper layer than all of its parents).
+//!    Because worker ids are pinned to OS threads for the lifetime of the
+//!    pool, a worker's arena region stays on the same thread across levels
+//!    and phases, and small DAG levels no longer pay a thread-spawn each.
 //! 2. **Arena-backed local tables** (Figure 5).  Word-frequency accumulation
 //!    uses flat open-addressing tables ([`arena::flat64`]) carved out of one
 //!    shared [`arena::MemoryPool`], one region per worker, sized during the
@@ -26,7 +31,14 @@
 //!    ([`exec::shard_of`]), so the per-shard merges run concurrently with no
 //!    synchronization at all — contention is resolved statically rather than
 //!    with atomics.
-//! 4. **Rule-local sequence support** (Figures 6–8).  Sequence tasks build
+//! 4. **File-major CSR accumulation for term vector.**  The top-down pass
+//!    produces rule-major `(file, occurrences)` tables; term vector consumes
+//!    their transpose ([`file_csr::FileCsr`]) so files can be statically
+//!    partitioned across workers by cost and each worker walks only *its
+//!    own files'* rules, accumulating one file at a time into a reused
+//!    arena table.  File ownership is disjoint, so there is nothing to
+//!    merge — the same static-sharding trick as the global merge.
+//! 5. **Rule-local sequence support** (Figures 6–8).  Sequence tasks build
 //!    per-rule head/tail buffers bottom-up and count every window **once per
 //!    rule**, scaling by rule weight (sequence count) or per-file rule
 //!    weight (ranked inverted index); the root is split into chunks the way
@@ -38,6 +50,7 @@
 //! (asserted by `tests/cross_implementation.rs` and the unit tests below).
 
 pub mod exec;
+pub mod file_csr;
 pub mod head_tail;
 pub mod sequences;
 
@@ -47,6 +60,8 @@ use crate::results::*;
 use crate::timing::{PhaseTimings, Timer, WorkStats};
 use crate::weights::file_segments;
 use arena::flat64;
+use exec::WorkerPool;
+use file_csr::FileCsr;
 use head_tail::{build_head_tail, levels_top_down};
 use sequences::{count_root_chunk, count_rule_local, root_chunks, RootChunk};
 use sequitur::fxhash::FxHashMap;
@@ -87,6 +102,36 @@ impl FineGrainedConfig {
 }
 
 /// How a task is executed on the CPU: the three modes the benchmarks compare.
+///
+/// All three modes produce byte-identical [`AnalyticsOutput`]s:
+///
+/// ```
+/// use sequitur::compress::{compress_corpus, CompressOptions};
+/// use sequitur::Dag;
+/// use tadoc::apps::{Task, TaskConfig};
+/// use tadoc::fine_grained::{run_task_with_mode, ExecutionMode, FineGrainedConfig};
+/// use tadoc::parallel::ParallelConfig;
+///
+/// let corpus = vec![
+///     ("a.txt".to_string(), "the cat sat on the mat the cat sat".to_string()),
+///     ("b.txt".to_string(), "the dog sat on the mat".to_string()),
+/// ];
+/// let archive = compress_corpus(&corpus, CompressOptions::default());
+/// let dag = Dag::from_grammar(&archive.grammar);
+/// let cfg = TaskConfig::default();
+///
+/// let modes = [
+///     ExecutionMode::Sequential,
+///     ExecutionMode::CoarseGrained(ParallelConfig { num_threads: 2 }),
+///     ExecutionMode::FineGrained(FineGrainedConfig::with_threads(2)),
+/// ];
+/// let outputs: Vec<_> = modes
+///     .iter()
+///     .map(|&m| run_task_with_mode(&archive, &dag, Task::WordCount, cfg, m).output)
+///     .collect();
+/// assert_eq!(outputs[0], outputs[1]);
+/// assert_eq!(outputs[0], outputs[2]);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub enum ExecutionMode {
     /// The sequential TADOC baseline.
@@ -126,6 +171,10 @@ pub fn run_task_with_mode(
 
 /// Runs `task` with fine-grained (level-synchronized, arena-backed)
 /// parallelism.
+///
+/// One persistent [`WorkerPool`] is created per run; every phase and DAG
+/// level of the task is dispatched as an epoch over the same parked worker
+/// threads.
 pub fn run_task_fine_grained(
     archive: &TadocArchive,
     dag: &Dag,
@@ -137,12 +186,13 @@ pub fn run_task_fine_grained(
         // Degenerate configuration: defer to the sequential semantics.
         return run_task(archive, dag, task, cfg);
     }
+    let pool = WorkerPool::new(fcfg.num_threads);
     match task {
-        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, fcfg),
-        Task::InvertedIndex => inverted_index_fine(archive, dag, fcfg),
-        Task::TermVector => term_vector_fine(archive, dag, fcfg),
-        Task::SequenceCount => sequence_count_fine(archive, dag, cfg, fcfg),
-        Task::RankedInvertedIndex => ranked_inverted_index_fine(archive, dag, cfg, fcfg),
+        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, &pool),
+        Task::InvertedIndex => inverted_index_fine(archive, dag, &pool),
+        Task::TermVector => term_vector_fine(archive, dag, &pool),
+        Task::SequenceCount => sequence_count_fine(archive, dag, cfg, fcfg, &pool),
+        Task::RankedInvertedIndex => ranked_inverted_index_fine(archive, dag, cfg, fcfg, &pool),
     }
 }
 
@@ -153,7 +203,7 @@ pub fn run_task_fine_grained(
 /// Computes rule weights with a level-synchronized top-down traversal: all
 /// rules of one layer propagate `freq × weight` to their children in
 /// parallel (atomic adds), with a barrier between layers.
-fn parallel_rule_weights(dag: &Dag, threads: usize, work: &mut WorkStats) -> Vec<u64> {
+fn parallel_rule_weights(dag: &Dag, pool: &WorkerPool, work: &mut WorkStats) -> Vec<u64> {
     let n = dag.num_rules;
     let weights: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     if n == 0 {
@@ -162,7 +212,7 @@ fn parallel_rule_weights(dag: &Dag, threads: usize, work: &mut WorkStats) -> Vec
     weights[0].store(1, Ordering::Relaxed);
     let edges = AtomicU64::new(0);
     for level in levels_top_down(dag) {
-        exec::parallel_for_range(level.len(), threads, |i| {
+        pool.for_range(level.len(), |i| {
             let r = level[i] as usize;
             let w = weights[r].load(Ordering::Relaxed);
             if w == 0 {
@@ -188,7 +238,7 @@ fn parallel_rule_weights(dag: &Dag, threads: usize, work: &mut WorkStats) -> Vec
 fn parallel_file_weights(
     grammar: &Grammar,
     dag: &Dag,
-    threads: usize,
+    pool: &WorkerPool,
     work: &mut WorkStats,
 ) -> Vec<FxHashMap<FileId, u64>> {
     let n = dag.num_rules;
@@ -217,7 +267,7 @@ fn parallel_file_weights(
     for level in levels_top_down(dag) {
         let results: Mutex<Vec<(u32, FxHashMap<FileId, u64>)>> =
             Mutex::new(Vec::with_capacity(level.len()));
-        exec::parallel_for_range(level.len(), threads, |i| {
+        pool.for_range(level.len(), |i| {
             let r = level[i] as usize;
             if r == 0 {
                 return;
@@ -271,7 +321,7 @@ fn transpose_shards<T: Default>(locals: Vec<Vec<T>>, shards: usize) -> Vec<Vec<T
 /// shard's inputs and owns them).
 fn merge_sharded<T, R, F>(
     locals: Vec<(Vec<T>, WorkStats)>,
-    threads: usize,
+    pool: &WorkerPool,
     traversal_work: &mut WorkStats,
     merge: F,
 ) -> Vec<R>
@@ -285,8 +335,8 @@ where
         traversal_work.merge(&stats);
         shard_inputs.push(shards);
     }
-    let by_shard = transpose_shards(shard_inputs, threads);
-    exec::parallel_map_workers(by_shard, |_s, pieces| merge(pieces))
+    let by_shard = transpose_shards(shard_inputs, pool.threads());
+    pool.map_workers(by_shard, |_s, pieces| merge(pieces))
 }
 
 /// Combines the disjoint per-shard result maps into the final table.
@@ -311,9 +361,9 @@ fn word_count_fine(
     archive: &TadocArchive,
     dag: &Dag,
     task: Task,
-    fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
 ) -> TaskExecution {
-    let threads = fcfg.num_threads.max(1);
+    let threads = pool.threads();
     let n = dag.num_rules;
 
     // Phase 1: initialization — weights via the level-synchronized top-down
@@ -326,7 +376,7 @@ fn word_count_fine(
     // `threads × vocabulary` to the actual distinct-key total.
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
-    let weights = parallel_rule_weights(dag, threads, &mut init_work);
+    let weights = parallel_rule_weights(dag, pool, &mut init_work);
     let vocab = archive.vocabulary_size() as u64;
     let costs: Vec<u64> = (0..n).map(|r| dag.local_words[r].len() as u64).collect();
     let ranges = exec::partition_by_cost(&costs, threads);
@@ -337,8 +387,8 @@ fn word_count_fine(
             flat64::words_required(bound.min(vocab) as u32)
         })
         .collect();
-    let mut pool = arena::MemoryPool::from_requirements(&requirements);
-    init_work.bytes_moved += pool.total_words() as u64 * 4;
+    let mut mem = arena::MemoryPool::from_requirements(&requirements);
+    init_work.bytes_moved += mem.total_words() as u64 * 4;
     let init = init_timer.elapsed();
 
     // Phase 2: traversal — every rule contributes local_words × weight into
@@ -347,9 +397,9 @@ fn word_count_fine(
     // lock-free merge.
     let trav_timer = Timer::start();
     let inputs: Vec<(&mut [u32], std::ops::Range<usize>)> =
-        pool.split_regions().into_iter().zip(ranges).collect();
+        mem.split_regions().into_iter().zip(ranges).collect();
     let locals: Vec<(Vec<FxHashMap<WordId, u64>>, WorkStats)> =
-        exec::parallel_map_workers(inputs, |_w, (region, range)| {
+        pool.map_workers(inputs, |_w, (region, range)| {
             flat64::init(region);
             let mut stats = WorkStats::default();
             for r in range {
@@ -373,7 +423,7 @@ fn word_count_fine(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_maps = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+    let shard_maps = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         let mut out: FxHashMap<WordId, u64> = FxHashMap::default();
         for map in pieces {
             for (k, v) in map {
@@ -435,18 +485,14 @@ impl PostingBuf {
     }
 }
 
-fn inverted_index_fine(
-    archive: &TadocArchive,
-    dag: &Dag,
-    fcfg: FineGrainedConfig,
-) -> TaskExecution {
+fn inverted_index_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> TaskExecution {
     let grammar = &archive.grammar;
-    let threads = fcfg.num_threads.max(1);
+    let threads = pool.threads();
     let n = dag.num_rules;
 
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
-    let fw = parallel_file_weights(grammar, dag, threads, &mut init_work);
+    let fw = parallel_file_weights(grammar, dag, pool, &mut init_work);
     let segments = file_segments(grammar);
     let init = init_timer.elapsed();
 
@@ -461,7 +507,7 @@ fn inverted_index_fine(
     let root = grammar.root();
     type PostingLists = Vec<FxHashMap<WordId, PostingBuf>>;
     let locals: Vec<(PostingLists, WorkStats)> =
-        exec::parallel_collect(threads, |_w| {
+        pool.collect(|_w| {
             let mut shards: PostingLists =
                 (0..threads).map(|_| FxHashMap::default()).collect();
             let mut stats = WorkStats::default();
@@ -501,7 +547,7 @@ fn inverted_index_fine(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_postings = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+    let shard_postings = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         let mut merged: FxHashMap<WordId, Vec<FileId>> = FxHashMap::default();
         for map in pieces {
             for (w, buf) in map {
@@ -532,68 +578,157 @@ fn inverted_index_fine(
 // term vector
 // ---------------------------------------------------------------------------
 
-fn term_vector_fine(archive: &TadocArchive, dag: &Dag, fcfg: FineGrainedConfig) -> TaskExecution {
+fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> TaskExecution {
     let grammar = &archive.grammar;
-    let threads = fcfg.num_threads.max(1);
+    let threads = pool.threads();
     let num_files = archive.num_files().max(grammar.num_files());
 
+    // Phase 1: initialization — build the file-major CSR *directly* with a
+    // per-file top-down propagation over the file's reachable sub-DAG, then
+    // carve one arena region per worker.  Unlike the other file-attributed
+    // tasks, no rule-major `FxHashMap<FileId, _>` tables are ever built:
+    // each worker owns a dense `occ[rule]` scratch plus per-layer buckets,
+    // seeds them from the file's root segment, propagates occurrence counts
+    // in layer order (every parent sits in a strictly shallower layer, so
+    // one pass suffices), and emits the file's `(rule, occurrences)` row.
+    // Scratch cleanup touches only the rules the file reached, so the cost
+    // is the size of the file's sub-DAG, not of the whole grammar.
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
-    let fw = parallel_file_weights(grammar, dag, threads, &mut init_work);
     let segments = file_segments(grammar);
+    let root = grammar.root();
+    let n = dag.num_rules;
+    // Dynamic chunking sized like `for_range`: corpora with fewer files
+    // than `threads × 8` must still spread across workers (dataset B has 4
+    // huge files — a fixed chunk would hand all of them to one worker).
+    let chunk = (num_files / (threads * 8)).clamp(1, 64);
+    let queue = exec::WorkQueue::new(num_files, chunk);
+    type FileRows = Vec<(usize, Vec<(u32, u64)>)>;
+    let locals: Vec<(FileRows, WorkStats)> = pool.collect(|_w| {
+        let mut occ = vec![0u64; n];
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); dag.num_layers];
+        let mut stats = WorkStats::default();
+        let mut out: FileRows = Vec::new();
+        while let Some(range) = queue.next() {
+            for f in range {
+                // Seed: direct rule references in the file's root segment.
+                if let Some(&(start, end)) = segments.get(f) {
+                    for sym in &root[start..end] {
+                        stats.elements_scanned += 1;
+                        if let Symbol::Rule(c) = *sym {
+                            if occ[c as usize] == 0 {
+                                buckets[dag.layers[c as usize] as usize].push(c);
+                            }
+                            occ[c as usize] += 1;
+                        }
+                    }
+                }
+                // Propagate top-down in layer order; children always land
+                // in strictly deeper buckets, so indexed iteration is safe.
+                let mut row: Vec<(u32, u64)> = Vec::new();
+                for layer in 0..buckets.len() {
+                    for idx in 0..buckets[layer].len() {
+                        let r = buckets[layer][idx] as usize;
+                        let o = occ[r];
+                        row.push((r as u32, o));
+                        for &(c, freq) in &dag.children[r] {
+                            if occ[c as usize] == 0 {
+                                buckets[dag.layers[c as usize] as usize].push(c);
+                            }
+                            occ[c as usize] += freq as u64 * o;
+                            stats.table_ops += 1;
+                        }
+                    }
+                }
+                // Reset only what this file touched.
+                for bucket in &mut buckets {
+                    for &r in bucket.iter() {
+                        occ[r as usize] = 0;
+                    }
+                    bucket.clear();
+                }
+                out.push((f, row));
+            }
+        }
+        (out, stats)
+    });
+    let mut rows: Vec<Vec<(u32, u64)>> = vec![Vec::new(); num_files];
+    for (worker_rows, stats) in locals {
+        init_work.merge(&stats);
+        for (f, row) in worker_rows {
+            rows[f] = row;
+        }
+    }
+    let csr = FileCsr::from_rows(rows);
+    init_work.table_ops += csr.nnz() as u64;
+    let vocab = archive.vocabulary_size() as u64;
+    let costs: Vec<u64> = (0..num_files)
+        .map(|f| {
+            let root_words = segments.get(f).map_or(0, |&(s, e)| (e - s) as u64);
+            let local: u64 = csr
+                .entries(f)
+                .map(|(r, _)| dag.local_words[r as usize].len() as u64)
+                .sum();
+            root_words + local
+        })
+        .collect();
+    let ranges = exec::partition_by_cost(&costs, threads);
+    let requirements: Vec<u32> = ranges
+        .iter()
+        .map(|range| {
+            let bound = costs[range.clone()].iter().copied().max().unwrap_or(0);
+            flat64::words_required(bound.min(vocab) as u32)
+        })
+        .collect();
+    let mut mem = arena::MemoryPool::from_requirements(&requirements);
+    init_work.bytes_moved += mem.total_words() as u64 * 4;
     let init = init_timer.elapsed();
 
-    // Traversal: rule-major accumulation with *file-sharded* workers — every
-    // worker owns the files whose id hashes to it, walks all rules once, and
-    // applies only the per-file contributions of its own files.  Ownership by
-    // sharding (not locking) is the same trick as the global merge.
+    // Phase 2: traversal — file-major accumulation.  Each worker owns a
+    // contiguous file range and walks only those files' CSR entries,
+    // accumulating one file at a time into its reused arena table; file
+    // ownership is disjoint, so the "merge" is a plain scatter of finished
+    // vectors.  (The previous design had every worker walk every rule and
+    // filter by file ownership, multiplying the rule scan by the worker
+    // count.)
     let trav_timer = Timer::start();
-    let root = grammar.root();
     type FileVectors = Vec<(usize, Vec<(WordId, u64)>)>;
+    let inputs: Vec<(&mut [u32], std::ops::Range<usize>)> =
+        mem.split_regions().into_iter().zip(ranges).collect();
     let locals: Vec<(FileVectors, WorkStats)> =
-        exec::parallel_collect(threads, |worker| {
-            let mut acc: FxHashMap<FileId, FxHashMap<WordId, u64>> = FxHashMap::default();
+        pool.map_workers(inputs, |_w, (region, files)| {
             let mut stats = WorkStats::default();
-            // Root words of the worker's own files.
-            for (fid, &(start, end)) in segments.iter().enumerate() {
-                if fid % threads != worker {
-                    continue;
-                }
-                let entry = acc.entry(fid as FileId).or_default();
-                for sym in &root[start..end] {
-                    stats.elements_scanned += 1;
-                    if let Symbol::Word(w) = *sym {
-                        *entry.entry(w).or_insert(0) += 1;
-                        stats.table_ops += 1;
+            let mut vectors: FileVectors = Vec::with_capacity(files.len());
+            for f in files {
+                // Work in a sub-slice sized for *this* file's bound: the
+                // per-file re-initialisation then costs words proportional
+                // to the file itself, not to the largest file of the range.
+                let words = flat64::words_required(costs[f].min(vocab) as u32) as usize;
+                let table = &mut region[..words];
+                flat64::init(table);
+                // Root words of the file's segment.
+                if let Some(&(start, end)) = segments.get(f) {
+                    for sym in &root[start..end] {
+                        stats.elements_scanned += 1;
+                        if let Symbol::Word(w) = *sym {
+                            flat64::insert_add(table, w, 1);
+                            stats.table_ops += 1;
+                        }
                     }
                 }
-            }
-            // Rule-local words scaled by the rule's occurrences in own files.
-            for (r, rule_fw) in fw.iter().enumerate().skip(1) {
-                let mine: Vec<(FileId, u64)> = rule_fw
-                    .iter()
-                    .filter(|(&f, _)| f as usize % threads == worker)
-                    .map(|(&f, &occ)| (f, occ))
-                    .collect();
-                if mine.is_empty() {
-                    continue;
-                }
-                for &(w, c) in &dag.local_words[r] {
-                    for &(f, occ) in &mine {
-                        *acc.entry(f).or_default().entry(w).or_insert(0) += c as u64 * occ;
+                // Rule-local words scaled by the rule's occurrences in `f`.
+                for (r, occ) in csr.entries(f) {
+                    for &(w, c) in &dag.local_words[r as usize] {
+                        flat64::insert_add(table, w, c as u64 * occ);
                         stats.table_ops += 1;
                     }
+                    stats.elements_scanned += dag.rule_lengths[r as usize] as u64;
                 }
-                stats.elements_scanned += dag.rule_lengths[r] as u64;
+                let mut v: Vec<(WordId, u64)> = flat64::iter(table).collect();
+                v.sort_unstable();
+                stats.bytes_moved += v.len() as u64 * 12;
+                vectors.push((f, v));
             }
-            let vectors = acc
-                .into_iter()
-                .map(|(f, m)| {
-                    let mut v: Vec<(WordId, u64)> = m.into_iter().collect();
-                    v.sort_unstable();
-                    (f as usize, v)
-                })
-                .collect();
             (vectors, stats)
         });
 
@@ -640,11 +775,12 @@ fn sequence_count_fine(
     dag: &Dag,
     cfg: TaskConfig,
     fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
 ) -> TaskExecution {
     if sequences::can_pack(cfg.sequence_length, archive.vocabulary_size()) {
-        sequence_count_fine_impl::<u64>(archive, dag, cfg, fcfg)
+        sequence_count_fine_impl::<u64>(archive, dag, cfg, fcfg, pool)
     } else {
-        sequence_count_fine_impl::<Sequence>(archive, dag, cfg, fcfg)
+        sequence_count_fine_impl::<Sequence>(archive, dag, cfg, fcfg, pool)
     }
 }
 
@@ -653,15 +789,16 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
     dag: &Dag,
     cfg: TaskConfig,
     fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
 ) -> TaskExecution {
     let grammar = &archive.grammar;
-    let threads = fcfg.num_threads.max(1);
+    let threads = pool.threads();
     let l = cfg.sequence_length;
 
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
-    let weights = parallel_rule_weights(dag, threads, &mut init_work);
-    let ht = build_head_tail(grammar, dag, l, threads, &mut init_work);
+    let weights = parallel_rule_weights(dag, pool, &mut init_work);
+    let ht = build_head_tail(grammar, dag, l, pool, &mut init_work);
     let segments = file_segments(grammar);
     let items = sequence_work_items(dag, &segments, fcfg.root_chunk_elements);
     let init = init_timer.elapsed();
@@ -669,7 +806,7 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
     let trav_timer = Timer::start();
     let queue = exec::WorkQueue::new(items.len(), 16);
     let locals: Vec<(Vec<FxHashMap<K, u64>>, WorkStats)> =
-        exec::parallel_collect(threads, |_w| {
+        pool.collect(|_w| {
             let mut shards: Vec<FxHashMap<K, u64>> =
                 (0..threads).map(|_| FxHashMap::default()).collect();
             let mut stats = WorkStats::default();
@@ -705,7 +842,7 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_counts = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+    let shard_counts = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         let mut merged: FxHashMap<K, u64> = FxHashMap::default();
         for map in pieces {
             for (key, c) in map {
@@ -736,11 +873,12 @@ fn ranked_inverted_index_fine(
     dag: &Dag,
     cfg: TaskConfig,
     fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
 ) -> TaskExecution {
     if sequences::can_pack(cfg.sequence_length, archive.vocabulary_size()) {
-        ranked_inverted_index_fine_impl::<u64>(archive, dag, cfg, fcfg)
+        ranked_inverted_index_fine_impl::<u64>(archive, dag, cfg, fcfg, pool)
     } else {
-        ranked_inverted_index_fine_impl::<Sequence>(archive, dag, cfg, fcfg)
+        ranked_inverted_index_fine_impl::<Sequence>(archive, dag, cfg, fcfg, pool)
     }
 }
 
@@ -749,15 +887,16 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
     dag: &Dag,
     cfg: TaskConfig,
     fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
 ) -> TaskExecution {
     let grammar = &archive.grammar;
-    let threads = fcfg.num_threads.max(1);
+    let threads = pool.threads();
     let l = cfg.sequence_length;
 
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
-    let fw = parallel_file_weights(grammar, dag, threads, &mut init_work);
-    let ht = build_head_tail(grammar, dag, l, threads, &mut init_work);
+    let fw = parallel_file_weights(grammar, dag, pool, &mut init_work);
+    let ht = build_head_tail(grammar, dag, l, pool, &mut init_work);
     let segments = file_segments(grammar);
     let items = sequence_work_items(dag, &segments, fcfg.root_chunk_elements);
     let init = init_timer.elapsed();
@@ -766,7 +905,7 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
     let queue = exec::WorkQueue::new(items.len(), 16);
     type PerFile = FxHashMap<FileId, u64>;
     let locals: Vec<(Vec<FxHashMap<K, PerFile>>, WorkStats)> =
-        exec::parallel_collect(threads, |_w| {
+        pool.collect(|_w| {
             let mut shards: Vec<FxHashMap<K, PerFile>> =
                 (0..threads).map(|_| FxHashMap::default()).collect();
             let mut stats = WorkStats::default();
@@ -813,7 +952,7 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_postings = merge_sharded(locals, threads, &mut traversal_work, |pieces| {
+    let shard_postings = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         let mut merged: FxHashMap<K, PerFile> = FxHashMap::default();
         for map in pieces {
             for (key, per_file) in map {
@@ -871,8 +1010,9 @@ mod tests {
         let mut w1 = WorkStats::default();
         let expected = weights::rule_weights(&dag, &mut w1);
         for threads in [1, 3, 8] {
+            let pool = WorkerPool::new(threads);
             let mut w2 = WorkStats::default();
-            let got = parallel_rule_weights(&dag, threads, &mut w2);
+            let got = parallel_rule_weights(&dag, &pool, &mut w2);
             assert_eq!(got, expected, "threads = {threads}");
         }
         let _ = archive;
@@ -884,9 +1024,32 @@ mod tests {
         let mut w1 = WorkStats::default();
         let expected = weights::file_weights(&archive.grammar, &dag, &mut w1);
         for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
             let mut w2 = WorkStats::default();
-            let got = parallel_file_weights(&archive.grammar, &dag, threads, &mut w2);
+            let got = parallel_file_weights(&archive.grammar, &dag, &pool, &mut w2);
             assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn file_csr_matches_file_weights_on_real_grammars() {
+        let (archive, dag) = build(&redundant_corpus());
+        let pool = WorkerPool::new(2);
+        let mut work = WorkStats::default();
+        let fw = parallel_file_weights(&archive.grammar, &dag, &pool, &mut work);
+        let num_files = archive.num_files();
+        let csr = FileCsr::build(&fw, num_files);
+        for f in 0..num_files {
+            let mut got: Vec<(u32, u64)> = csr.entries(f).collect();
+            got.sort_unstable();
+            let mut expected: Vec<(u32, u64)> = fw
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter_map(|(r, m)| m.get(&(f as FileId)).map(|&occ| (r as u32, occ)))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "file {f}");
         }
     }
 

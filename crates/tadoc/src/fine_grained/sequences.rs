@@ -257,6 +257,7 @@ pub fn count_root_chunk<F: FnMut(&[u32])>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fine_grained::exec::WorkerPool;
     use crate::fine_grained::head_tail::build_head_tail;
     use crate::oracle;
     use crate::timing::WorkStats;
@@ -271,7 +272,7 @@ mod tests {
         let archive = compress_corpus(corpus, CompressOptions::default());
         let dag = Dag::from_grammar(&archive.grammar);
         let mut work = WorkStats::default();
-        let ht = build_head_tail(&archive.grammar, &dag, l, 1, &mut work);
+        let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
         let weights = rule_weights(&dag, &mut work);
 
         let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
@@ -371,7 +372,7 @@ mod tests {
         let segments = file_segments(&archive.grammar);
         for l in [2usize, 3] {
             let mut work = WorkStats::default();
-            let ht = build_head_tail(&archive.grammar, &dag, l, 1, &mut work);
+            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
             let mut whole: FxHashMap<(u32, Vec<u32>), u64> = FxHashMap::default();
             for chunk in root_chunks(&segments, usize::MAX) {
                 count_root_chunk(archive.grammar.root(), &ht, chunk, |words| {

@@ -1,7 +1,8 @@
 //! Coarse-grained parallel TADOC.
 //!
-//! The parallel TADOC design the paper contrasts G-TADOC with (its reference
-//! [4]) splits the input into file partitions, lets each CPU thread process
+//! The parallel TADOC design the paper contrasts G-TADOC with (its
+//! reference \[4\]) splits the input into file partitions, lets each CPU
+//! thread process
 //! its partition independently, and merges the partial results at the end.
 //! This module reproduces that design with `std::thread::scope`.  The paper's
 //! point — that such coarse-grained parallelism cannot feed the thousands of

@@ -1,0 +1,131 @@
+//! Stress tests for the persistent worker-pool executor.
+//!
+//! The pool dispatches every phase and DAG level as a barrier epoch over the
+//! same parked threads, so the interesting adversarial shape is a grammar
+//! with *many tiny levels* — the case that used to pay a thread-spawn per
+//! level and that exercises the epoch handshake thousands of times per run.
+//! Plus a file-skewed regression corpus for the CSR-based term-vector
+//! kernel, whose workers own statically partitioned file ranges.
+
+use g_tadoc_repro::prelude::*;
+use tadoc::fine_grained::{run_task_fine_grained, FineGrainedConfig};
+
+/// A corpus whose grammar is a deep chain: repeated doubling yields nested
+/// rules (each level referencing the previous), i.e. many near-empty DAG
+/// levels rather than a few wide ones.
+fn deep_chain_corpus() -> Vec<(String, String)> {
+    let mut s = "w0 w1".to_string();
+    for _ in 0..9 {
+        s = format!("{s} {s}");
+    }
+    vec![
+        ("deep".to_string(), s.clone()),
+        ("half".to_string(), s[..s.len() / 2].to_string()),
+        ("tiny".to_string(), "w0 w1 w2".to_string()),
+    ]
+}
+
+/// Many files with a heavily skewed size distribution: one dominant file
+/// built from shared redundant content, a mid-sized tail, and a swarm of
+/// tiny and empty files.  Exercises the cost-based file partitioning of the
+/// term-vector kernel (the dominant file must not serialize a whole worker's
+/// range behind it by being mis-sized).
+fn file_skewed_corpus() -> Vec<(String, String)> {
+    let shared = "alpha beta gamma delta epsilon zeta eta theta ".repeat(40);
+    let mut corpus = vec![("whale".to_string(), format!("{shared} {shared} {shared}"))];
+    for i in 0..8 {
+        corpus.push((format!("mid{i}"), shared.clone()));
+    }
+    for i in 0..40 {
+        corpus.push((format!("minnow{i}"), format!("alpha beta minnow{i}")));
+    }
+    corpus.push(("empty".to_string(), String::new()));
+    corpus
+}
+
+#[test]
+fn deep_grammar_has_many_tiny_levels() {
+    let archive = compress_corpus(&deep_chain_corpus(), CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    assert!(
+        dag.num_layers >= 8,
+        "stress premise violated: doubling corpus only produced {} DAG layers",
+        dag.num_layers
+    );
+}
+
+#[test]
+fn all_tasks_agree_across_thread_counts_on_many_tiny_levels() {
+    let corpus = deep_chain_corpus();
+    let archive = compress_corpus(&corpus, CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let files = archive.grammar.expand_files();
+    let cfg = TaskConfig::default();
+    for task in Task::ALL {
+        let (oracle, _) = uncompressed::cpu::run_cpu_uncompressed(&files, task, cfg);
+        let sequential = run_task(&archive, &dag, task, cfg);
+        assert_eq!(sequential.output, oracle, "sequential vs oracle on {}", task.name());
+        for threads in [1usize, 4, 8] {
+            let fine = run_task_fine_grained(
+                &archive,
+                &dag,
+                task,
+                cfg,
+                FineGrainedConfig::with_threads(threads),
+            );
+            assert_eq!(
+                fine.output,
+                sequential.output,
+                "task {} with {threads} threads diverges on the deep-chain grammar",
+                task.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_reuse_fresh_pools_without_interference() {
+    // Every run creates (and drops) its own pool; loop a task enough times
+    // that leaked or wedged helper threads would show up as a hang or a
+    // wrong result.
+    let archive = compress_corpus(&deep_chain_corpus(), CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let cfg = TaskConfig::default();
+    let expected = run_task(&archive, &dag, Task::SequenceCount, cfg).output;
+    for _ in 0..20 {
+        let fine = run_task_fine_grained(
+            &archive,
+            &dag,
+            Task::SequenceCount,
+            cfg,
+            FineGrainedConfig::with_threads(4),
+        );
+        assert_eq!(fine.output, expected);
+    }
+}
+
+#[test]
+fn term_vector_fine_matches_sequential_on_file_skew() {
+    let corpus = file_skewed_corpus();
+    let archive = compress_corpus(&corpus, CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let cfg = TaskConfig::default();
+    let (oracle, _) =
+        uncompressed::cpu::run_cpu_uncompressed(&archive.grammar.expand_files(), Task::TermVector, cfg);
+    let sequential = run_task(&archive, &dag, Task::TermVector, cfg);
+    assert_eq!(sequential.output, oracle, "sequential vs oracle");
+    for threads in [1usize, 2, 4, 8] {
+        let fine = run_task_fine_grained(
+            &archive,
+            &dag,
+            Task::TermVector,
+            cfg,
+            FineGrainedConfig::with_threads(threads),
+        );
+        assert_eq!(
+            fine.output,
+            sequential.output,
+            "termVector with {threads} threads diverges on the file-skewed corpus"
+        );
+    }
+}
