@@ -20,7 +20,10 @@
 //!   the simulated GPU traversals (private per-rule tables need no locks);
 //! * [`flat64`] — the `u32 → u64` variant used by the fine-grained CPU
 //!   engine, whose analytics counts exceed 32 bits;
-//! * [`mix64`] — the shared full-avalanche finalizer both tables hash with.
+//! * [`mix64`] — the shared full-avalanche finalizer both tables hash with;
+//! * [`shard`] — append-and-compact shard buffers ([`shard::ShardBuf`]) for
+//!   the sharded lock-free merges: workers append `(key, value)` entries per
+//!   hash shard, merges do one sort + fold per shard.
 //!
 //! The `gtadoc` crate re-exports these for the simulator backend; the
 //! `tadoc` fine-grained engine uses them directly on real threads.
@@ -83,6 +86,8 @@
 //! flat64::init(regions[1]);
 //! assert_eq!(flat64::len(regions[1]), 0);
 //! ```
+
+pub mod shard;
 
 /// SplitMix64 finalizer: a full-avalanche mix so that *every* output bit used
 /// for group selection and control tags depends on every input bit.  (A bare

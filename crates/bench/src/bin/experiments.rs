@@ -19,7 +19,14 @@
 //!          --reps <n>       repetitions per measurement (default 3)
 //!          --out <path>     JSON output of the `fine` bench
 //!                           (default BENCH_fine_grained.json)
+//!          --dataset <ids>  datasets for the `fine` bench, comma-separated
+//!                           (default A,B) — `--dataset B` re-baselines
+//!                           dataset B without re-running A
 //! ```
+//!
+//! The `fine` command validates every report's schema (all six tasks
+//! present, all speedups finite) and exits non-zero on a violation — the
+//! `bench-smoke` CI job runs it at reduced scale for exactly that check.
 
 use bench::experiments::{self, ExperimentScale};
 use datagen::DatasetId;
@@ -30,10 +37,36 @@ fn main() {
     let mut threads = 4usize;
     let mut reps = 3u32;
     let mut out = "BENCH_fine_grained.json".to_string();
+    let mut datasets = vec![DatasetId::A, DatasetId::B];
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--dataset" => {
+                i += 1;
+                datasets = args
+                    .get(i)
+                    .map(|s| {
+                        s.split(',')
+                            .map(|id| match id.trim() {
+                                "A" => DatasetId::A,
+                                "B" => DatasetId::B,
+                                "C" => DatasetId::C,
+                                "D" => DatasetId::D,
+                                "E" => DatasetId::E,
+                                other => {
+                                    eprintln!("unknown dataset: {other} (expected A-E)");
+                                    std::process::exit(2);
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|d| !d.is_empty())
+                    .unwrap_or_else(|| {
+                        eprintln!("--dataset requires a comma-separated list of A-E");
+                        std::process::exit(2);
+                    });
+            }
             "--scale" => {
                 i += 1;
                 let value = args
@@ -97,7 +130,7 @@ fn main() {
             "traversal" => print!("{}", experiments::traversal_comparison(scale)),
             "uncompressed" => print!("{}", experiments::uncompressed_comparison(scale)),
             "ablation" => print!("{}", experiments::ablation(scale)),
-            "fine" => run_fine(scale, threads, reps, &out),
+            "fine" => run_fine(scale, threads, reps, &out, &datasets),
             "all" => {
                 println!("{}", experiments::table1());
                 println!("{}", experiments::table2(scale));
@@ -108,7 +141,7 @@ fn main() {
                 println!("{}", experiments::traversal_comparison(scale));
                 println!("{}", experiments::uncompressed_comparison(scale));
                 println!("{}", experiments::ablation(scale));
-                run_fine(scale, threads, reps, &out);
+                run_fine(scale, threads, reps, &out, &datasets);
             }
             other => {
                 eprintln!("unknown command: {other}");
@@ -120,15 +153,27 @@ fn main() {
     }
 }
 
-/// Runs the fine-grained CPU bench on the multi-file datasets and writes the
+/// Runs the fine-grained CPU bench on the selected datasets and writes the
 /// machine-readable JSON used to track the perf trajectory across PRs.
-fn run_fine(scale: ExperimentScale, threads: usize, reps: u32, out: &str) {
+/// Exits non-zero if any report fails schema validation (missing task, NaN
+/// or non-positive speedup) — the `bench-smoke` CI contract.
+fn run_fine(scale: ExperimentScale, threads: usize, reps: u32, out: &str, datasets: &[DatasetId]) {
     let mut reports = Vec::new();
-    for id in [DatasetId::A, DatasetId::B] {
+    for &id in datasets {
         let report = experiments::fine_grained_report(id, scale, threads, reps);
         print!("{}", report.render());
         println!();
         reports.push(report);
+    }
+    let problems: Vec<String> = reports
+        .iter()
+        .flat_map(experiments::FineGrainedReport::schema_problems)
+        .collect();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("schema violation: {p}");
+        }
+        std::process::exit(1);
     }
     let json = experiments::fine_grained_json(&reports);
     match std::fs::write(out, &json) {
@@ -143,6 +188,7 @@ fn run_fine(scale: ExperimentScale, threads: usize, reps: u32, out: &str) {
 fn print_usage() {
     println!(
         "usage: experiments [--scale <f>] [--threads <n>] [--reps <n>] [--out <path>] \
+         [--dataset <A,B,...>] \
          <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|fine|all>..."
     );
 }

@@ -500,12 +500,12 @@ pub fn uncompressed_comparison(scale: ExperimentScale) -> String {
 pub struct ModeCell {
     /// The task measured.
     pub task: Task,
-    /// Mean wall-clock nanoseconds of the sequential baseline.
+    /// Fastest-rep wall-clock nanoseconds of the sequential baseline.
     pub sequential_ns: u64,
-    /// Mean wall-clock nanoseconds of coarse-grained (file-partition)
+    /// Fastest-rep wall-clock nanoseconds of coarse-grained (file-partition)
     /// parallelism.
     pub coarse_ns: u64,
-    /// Mean wall-clock nanoseconds of the fine-grained engine.
+    /// Fastest-rep wall-clock nanoseconds of the fine-grained engine.
     pub fine_ns: u64,
 }
 
@@ -536,24 +536,72 @@ pub struct FineGrainedReport {
     pub total_tokens: usize,
     /// Worker threads used by the parallel modes.
     pub threads: usize,
-    /// Repetitions averaged per measurement.
+    /// Repetitions per measurement (the fastest is reported).
     pub reps: u32,
+    /// Chunking threshold (work-item indices per chunk) the fine engine ran
+    /// with — recorded so the committed numbers name the decomposition they
+    /// were measured under.
+    pub chunk_elements: usize,
     /// One row per task.
     pub cells: Vec<ModeCell>,
 }
 
-/// Times `run` alone; digest checks happen outside the measured window so
-/// the reported ratios reflect only the execution modes themselves.
-fn mean_ns<R, F: FnMut() -> R>(reps: u32, mut run: F) -> u64 {
+impl FineGrainedReport {
+    /// Validates the report's schema: every task of [`Task::ALL`] must be
+    /// present exactly once with finite, positive speedups.  Returns the
+    /// problems found (empty = valid).  This is what the `bench-smoke` CI
+    /// job runs at reduced scale — it guards the JSON schema and the
+    /// engine's ability to produce a number for every task, not the timings
+    /// themselves.
+    pub fn schema_problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for task in Task::ALL {
+            match self.cells.iter().filter(|c| c.task == task).count() {
+                1 => {}
+                n => problems.push(format!(
+                    "dataset {}: task {} appears {n} times (expected 1)",
+                    self.dataset,
+                    task.name()
+                )),
+            }
+        }
+        for cell in &self.cells {
+            for (label, value) in [
+                ("fine_vs_sequential", cell.speedup_vs_sequential()),
+                ("fine_vs_coarse", cell.speedup_vs_coarse()),
+            ] {
+                if !value.is_finite() || value <= 0.0 {
+                    problems.push(format!(
+                        "dataset {}: task {} has invalid {label} speedup {value}",
+                        self.dataset,
+                        cell.task.name()
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// Times `run` alone and reports the **fastest** of `reps` repetitions;
+/// digest checks happen outside the measured window so the reported ratios
+/// reflect only the execution modes themselves.
+///
+/// The minimum, not the mean: the reference runner is a single time-sliced
+/// core, where any rep can absorb scheduler noise from the host.  The
+/// fastest rep is the closest observation of the code's actual cost, and
+/// all three execution modes are measured identically, so the ratios stay
+/// honest.
+fn min_ns<R, F: FnMut() -> R>(reps: u32, mut run: F) -> u64 {
     std::hint::black_box(run()); // warm-up
-    let mut total = 0u64;
+    let mut best = u64::MAX;
     for _ in 0..reps.max(1) {
         let start = std::time::Instant::now();
         let result = run();
-        total += start.elapsed().as_nanos() as u64;
+        best = best.min(start.elapsed().as_nanos() as u64);
         std::hint::black_box(result);
     }
-    total / reps.max(1) as u64
+    best
 }
 
 /// Measures one dataset under the three execution modes.
@@ -567,12 +615,13 @@ pub fn fine_grained_report(
     let cfg = TaskConfig::default();
     let archive = &prepared.archive;
     let dag = &prepared.dag;
+    let fine_cfg = FineGrainedConfig::with_threads(threads);
     let modes = [
         ExecutionMode::Sequential,
         ExecutionMode::CoarseGrained(ParallelConfig {
             num_threads: threads,
         }),
-        ExecutionMode::FineGrained(FineGrainedConfig::with_threads(threads)),
+        ExecutionMode::FineGrained(fine_cfg),
     ];
 
     let mut cells = Vec::new();
@@ -589,7 +638,7 @@ pub fn fine_grained_report(
                 task.name(),
                 mode.name()
             );
-            *slot = mean_ns(reps, || run_task_with_mode(archive, dag, task, cfg, mode));
+            *slot = min_ns(reps, || run_task_with_mode(archive, dag, task, cfg, mode));
         }
         cells.push(ModeCell {
             task,
@@ -606,6 +655,7 @@ pub fn fine_grained_report(
         total_tokens: prepared.corpus.total_tokens(),
         threads,
         reps,
+        chunk_elements: fine_cfg.chunk_elements,
         cells,
     }
 }
@@ -615,7 +665,7 @@ impl FineGrainedReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "FINE-GRAINED CPU ENGINE (dataset {}, {} files, {} tokens, {} threads, mean of {} reps)\n",
+            "FINE-GRAINED CPU ENGINE (dataset {}, {} files, {} tokens, {} threads, best of {} reps)\n",
             self.dataset, self.num_files, self.total_tokens, self.threads, self.reps
         ));
         out.push_str(
@@ -636,15 +686,39 @@ impl FineGrainedReport {
     }
 }
 
+/// Bench notes committed alongside the numbers: observations a reader of
+/// `BENCH_fine_grained.json` needs in order not to misread them.
+pub const BENCH_NOTES: &[&str] = &[
+    "The runner is single-core: fine-vs-sequential speedups above 1.0 come \
+     from algorithmic reuse and cheaper per-occurrence work, not from thread \
+     scaling (the 4 workers are time-sliced).",
+    "Each *_ns value is the fastest of `reps` repetitions (all three modes \
+     measured identically): on a time-sliced single core the minimum strips \
+     host scheduler noise that a mean would smear into the ratios.",
+    "Dataset B coarse termVector has historically run at ~1.0x against fine \
+     (0.993x fine-vs-coarse at PR 3): coarse file-partitioning cannot split \
+     four huge files any further, so it degenerates to near-sequential with \
+     partition overhead.  Re-baseline B alone with `experiments -- fine \
+     --dataset B --out BENCH_B.json` instead of re-running both datasets.",
+];
+
 /// Renders a list of fine-grained reports as the machine-readable JSON the
 /// perf trajectory of future PRs is tracked against
 /// (`BENCH_fine_grained.json`).
 pub fn fine_grained_json(reports: &[FineGrainedReport]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"fine_grained_cpu\",\n  \"unit\": \"ns\",\n  \"datasets\": [\n");
+    let mut out = String::from("{\n  \"benchmark\": \"fine_grained_cpu\",\n  \"unit\": \"ns\",\n  \"notes\": [\n");
+    for (i, note) in BENCH_NOTES.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\"{}\n",
+            note.replace('"', "\\\""),
+            if i + 1 == BENCH_NOTES.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"datasets\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\n      \"dataset\": \"{}\",\n      \"scale\": {:.3},\n      \"num_files\": {},\n      \"total_tokens\": {},\n      \"threads\": {},\n      \"reps\": {},\n      \"apps\": [\n",
-            r.dataset, r.scale, r.num_files, r.total_tokens, r.threads, r.reps
+            "    {{\n      \"dataset\": \"{}\",\n      \"scale\": {:.3},\n      \"num_files\": {},\n      \"total_tokens\": {},\n      \"threads\": {},\n      \"reps\": {},\n      \"chunk_elements\": {},\n      \"apps\": [\n",
+            r.dataset, r.scale, r.num_files, r.total_tokens, r.threads, r.reps, r.chunk_elements
         ));
         for (j, c) in r.cells.iter().enumerate() {
             out.push_str(&format!(

@@ -391,37 +391,119 @@ fn helper_loop(shared: &PoolShared, worker: usize) {
 
 /// Splits `0..costs.len()` into `parts` contiguous ranges of near-equal
 /// total cost by cutting the prefix-scan of `costs` at the `total × w /
-/// parts` boundaries.  Used to statically assign rules (or files) to workers
-/// so each worker's arena table can be sized by *its own* distinct-key bound
-/// (the sum of its items' costs) instead of the full vocabulary.  Ranges may
-/// be empty (their tables get zero capacity); together they cover the index
-/// space exactly once.
+/// parts` boundaries.  Used to statically assign rules (or files, or chunks)
+/// to workers so each worker's arena table can be sized by *its own*
+/// distinct-key bound (the sum of its items' costs) instead of the full
+/// vocabulary.  Together the ranges cover the index space exactly once.
+///
+/// **No-empty-part guarantee:** while items remain, every part takes at
+/// least one, and a part stops claiming items early rather than starve the
+/// parts after it.  So a part can only be empty when there are fewer items
+/// than parts — in particular, after [`chunk_ranges`] has split oversized
+/// items, a single huge item (the root) can no longer absorb several parts'
+/// cost targets and leave the later parts empty.
 ///
 /// ```
 /// use tadoc::fine_grained::exec::partition_by_cost;
 ///
 /// let ranges = partition_by_cost(&[3, 1, 1, 1, 3, 3], 3);
 /// assert_eq!(ranges, vec![0..2, 2..5, 5..6]);
+///
+/// // One item dwarfing the rest still leaves no part empty.
+/// let ranges = partition_by_cost(&[100, 1, 1, 1], 4);
+/// assert_eq!(ranges, vec![0..1, 1..2, 2..3, 3..4]);
 /// ```
 pub fn partition_by_cost(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1);
+    let n = costs.len();
     let total: u64 = costs.iter().sum();
     let mut out = Vec::with_capacity(parts);
     let mut start = 0usize;
     let mut prefix = 0u64;
     for part in 0..parts {
+        if start >= n {
+            out.push(start..start);
+            continue;
+        }
+        if part + 1 == parts {
+            // Everything left (including trailing zero-cost items) belongs
+            // to the last part.
+            out.push(start..n);
+            start = n;
+            continue;
+        }
         let target = total * (part as u64 + 1) / parts as u64;
-        let mut end = start;
-        while end < costs.len() && prefix < target {
+        let remaining_parts = parts - part;
+        let mut end = start + 1; // at least one item per part
+        prefix += costs[start];
+        while end < n && prefix < target && n - end > remaining_parts - 1 {
             prefix += costs[end];
             end += 1;
         }
-        if part + 1 == parts {
-            // Trailing zero-cost items belong to the last part.
-            end = costs.len();
-        }
         out.push(start..end);
         start = end;
+    }
+    out
+}
+
+/// One chunk of an item's index space: the sub-range `[begin, end)` of work
+/// item `item`.  Produced by [`chunk_ranges`]; consumed by the app paths so
+/// that a single huge item (dataset B's root rule, a giant local-word list)
+/// fans out across the whole pool instead of serialising on one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Index of the item this chunk belongs to.
+    pub item: u32,
+    /// First index of the chunk within the item.
+    pub begin: u32,
+    /// One past the last index of the chunk.
+    pub end: u32,
+}
+
+impl Chunk {
+    /// Number of indices covered by the chunk.
+    pub fn len(&self) -> usize {
+        (self.end - self.begin) as usize
+    }
+
+    /// Whether the chunk covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+}
+
+/// Splits every item's `0..len` index space into chunks of at most `target`
+/// indices, in item order.  Items of length 0 produce no chunks.  Each chunk
+/// is weighted individually into [`partition_by_cost`] (cost = its length),
+/// which is what keeps one oversized item from starving the other workers.
+///
+/// ```
+/// use tadoc::fine_grained::exec::{chunk_ranges, Chunk};
+///
+/// let chunks = chunk_ranges([2, 0, 5].into_iter(), 3);
+/// assert_eq!(
+///     chunks,
+///     vec![
+///         Chunk { item: 0, begin: 0, end: 2 },
+///         Chunk { item: 2, begin: 0, end: 3 },
+///         Chunk { item: 2, begin: 3, end: 5 },
+///     ]
+/// );
+/// ```
+pub fn chunk_ranges<I: IntoIterator<Item = usize>>(lens: I, target: usize) -> Vec<Chunk> {
+    let target = target.max(1);
+    let mut out = Vec::new();
+    for (item, len) in lens.into_iter().enumerate() {
+        let mut begin = 0usize;
+        while begin < len {
+            let end = (begin + target).min(len);
+            out.push(Chunk {
+                item: item as u32,
+                begin: begin as u32,
+                end: end as u32,
+            });
+            begin = end;
+        }
     }
     out
 }
@@ -594,9 +676,55 @@ mod tests {
     #[test]
     fn partition_by_cost_handles_degenerate_inputs() {
         assert_eq!(partition_by_cost(&[], 3), vec![0..0, 0..0, 0..0]);
-        assert_eq!(partition_by_cost(&[0, 0, 0], 2), vec![0..0, 0..3]);
+        assert_eq!(partition_by_cost(&[0, 0, 0], 2), vec![0..1, 1..3]);
         assert_eq!(partition_by_cost(&[5], 4), vec![0..1, 1..1, 1..1, 1..1]);
         assert_eq!(partition_by_cost(&[1, 1], 0), vec![0..2]);
+    }
+
+    /// Regression for the pre-chunking degenerate case: one item whose cost
+    /// exceeds the sum of all the others used to absorb several parts' cost
+    /// targets and leave the later parts empty.  With at least as many items
+    /// as parts, no part may be empty.
+    #[test]
+    fn partition_by_cost_never_yields_empty_parts_when_items_suffice() {
+        let cases: Vec<(Vec<u64>, usize)> = vec![
+            (vec![100, 1, 1, 1], 4),
+            (vec![1, 1000, 1, 1, 1, 1], 4),
+            (vec![1, 1, 1, 1000], 3),
+            (vec![0, 0, 7, 0], 4),
+            ((0..64).map(|i| if i == 5 { 10_000 } else { 1 }).collect(), 8),
+        ];
+        for (costs, parts) in cases {
+            assert!(costs.len() >= parts);
+            let ranges = partition_by_cost(&costs, parts);
+            let mut next = 0usize;
+            for range in &ranges {
+                assert!(
+                    !range.is_empty(),
+                    "{costs:?} split {parts} ways left {range:?} empty: {ranges:?}"
+                );
+                assert_eq!(range.start, next);
+                next = range.end;
+            }
+            assert_eq!(next, costs.len());
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_items_exactly() {
+        let lens = [0usize, 10, 3, 4097, 1];
+        let target = 7;
+        let chunks = chunk_ranges(lens.iter().copied(), target);
+        for (item, &len) in lens.iter().enumerate() {
+            let mut covered = 0usize;
+            for c in chunks.iter().filter(|c| c.item == item as u32) {
+                assert_eq!(c.begin as usize, covered);
+                assert!(c.len() <= target && !c.is_empty());
+                covered = c.end as usize;
+            }
+            assert_eq!(covered, len, "item {item}");
+        }
+        assert!(!chunks.iter().any(|c| c.item == 0), "len-0 items yield no chunks");
     }
 
     #[test]

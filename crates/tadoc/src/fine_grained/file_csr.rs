@@ -16,21 +16,20 @@
 //! entries are contiguous.
 
 use crate::results::FileId;
-use sequitur::fxhash::FxHashMap;
 
 /// Per-file rule occurrences in CSR form: file `f`'s entries are
 /// `rules[offsets[f]..offsets[f + 1]]` (parallel to `occs`).
 ///
 /// ```
-/// use sequitur::fxhash::FxHashMap;
 /// use tadoc::fine_grained::file_csr::FileCsr;
 ///
 /// // Rule-major input: rule 1 occurs twice in file 0; rule 2 occurs once
 /// // in each file (rule 0 is the root and carries no weights).
-/// let mut fw: Vec<FxHashMap<u32, u64>> = vec![FxHashMap::default(); 3];
-/// fw[1].insert(0, 2);
-/// fw[2].insert(0, 1);
-/// fw[2].insert(1, 1);
+/// let fw: Vec<Vec<(u32, u64)>> = vec![
+///     vec![],
+///     vec![(0, 2)],
+///     vec![(0, 1), (1, 1)],
+/// ];
 ///
 /// let csr = FileCsr::build(&fw, 2);
 /// assert_eq!(csr.num_files(), 2);
@@ -51,17 +50,18 @@ pub struct FileCsr {
 }
 
 impl FileCsr {
-    /// Transposes the rule-major file-weight tables into file-major CSR.
+    /// Transposes the rule-major file-weight lists (each rule's sorted
+    /// `(file, occurrences)` pairs) into file-major CSR.
     ///
     /// `fw[0]` (the root pseudo-rule) is skipped: root words are attributed
     /// to files directly from the segment scan, not through rule weights.
     /// Entries of files `>= num_files` would be out of contract and are
     /// debug-asserted against.
-    pub fn build(fw: &[FxHashMap<FileId, u64>], num_files: usize) -> FileCsr {
+    pub fn build(fw: &[Vec<(FileId, u64)>], num_files: usize) -> FileCsr {
         // Pass 1: count entries per file into the (shifted) offset array.
         let mut offsets = vec![0usize; num_files + 1];
         for rule_fw in fw.iter().skip(1) {
-            for &f in rule_fw.keys() {
+            for &(f, _) in rule_fw {
                 debug_assert!((f as usize) < num_files, "file id {f} out of range");
                 offsets[f as usize + 1] += 1;
             }
@@ -76,7 +76,7 @@ impl FileCsr {
         let mut rules = vec![0u32; nnz];
         let mut occs = vec![0u64; nnz];
         for (r, rule_fw) in fw.iter().enumerate().skip(1) {
-            for (&f, &occ) in rule_fw {
+            for &(f, occ) in rule_fw {
                 let slot = cursors[f as usize];
                 cursors[f as usize] += 1;
                 rules[slot] = r as u32;
@@ -155,12 +155,12 @@ mod tests {
 
     #[test]
     fn transpose_matches_rule_major_input() {
-        let mut fw: Vec<FxHashMap<FileId, u64>> = vec![FxHashMap::default(); 4];
-        fw[0].insert(0, 99); // root entries must be ignored
-        fw[1].insert(2, 5);
-        fw[2].insert(0, 1);
-        fw[2].insert(2, 3);
-        fw[3].insert(1, 7);
+        let fw: Vec<Vec<(FileId, u64)>> = vec![
+            vec![(0, 99)], // root entries must be ignored
+            vec![(2, 5)],
+            vec![(0, 1), (2, 3)],
+            vec![(1, 7)],
+        ];
         let csr = FileCsr::build(&fw, 3);
         assert_eq!(csr.nnz(), 4);
         assert_eq!(
@@ -187,7 +187,7 @@ mod tests {
         assert_eq!(csr.num_files(), 0);
         assert_eq!(csr.nnz(), 0);
 
-        let fw: Vec<FxHashMap<FileId, u64>> = vec![FxHashMap::default(); 3];
+        let fw: Vec<Vec<(FileId, u64)>> = vec![Vec::new(); 3];
         let csr = FileCsr::build(&fw, 5);
         assert_eq!(csr.num_files(), 5);
         assert_eq!(csr.nnz(), 0);

@@ -18,31 +18,48 @@
 //!    Because worker ids are pinned to OS threads for the lifetime of the
 //!    pool, a worker's arena region stays on the same thread across levels
 //!    and phases, and small DAG levels no longer pay a thread-spawn each.
-//! 2. **Arena-backed local tables** (Figure 5).  Word-frequency accumulation
-//!    uses flat open-addressing tables ([`arena::flat64`]) carved out of one
-//!    shared [`arena::MemoryPool`], one region per worker, sized during the
-//!    initialization phase exactly like the GPU memory pool: tables are
-//!    written lock-free because each region is privately owned, the CPU twin
-//!    of the paper's observation that a table owned by one thread needs no
-//!    locks.
-//! 3. **Sharded lock-free global merge.**  Instead of the global table's
-//!    bucket locks (Figure 5's `lock`/`entries` buffers), the CPU merge
-//!    assigns every key hash-shard to exactly one worker
-//!    ([`exec::shard_of`]), so the per-shard merges run concurrently with no
-//!    synchronization at all — contention is resolved statically rather than
-//!    with atomics.
-//! 4. **File-major CSR accumulation for term vector.**  The top-down pass
+//! 2. **Private per-worker accumulators** (Figure 5's lock-free local
+//!    tables, in CPU-appropriate form).  Every worker owns its accumulation
+//!    state outright — append-and-compact shard buffers for the counting
+//!    tasks, a dense `counts[word]` scratch with touched-word tracking for
+//!    term vector (word ids are already a perfect hash of the vocabulary) —
+//!    the CPU twin of the paper's observation that a table owned by one
+//!    thread needs no locks.  (The flat open-addressing tables of
+//!    [`arena::flat64`] remain the substrate of the simulated GPU engine,
+//!    where dynamic allocation per thread is not an option.)
+//! 3. **Sharded lock-free global merge over append-and-compact buffers.**
+//!    Instead of the global table's bucket locks (Figure 5's
+//!    `lock`/`entries` buffers), the CPU merge assigns every key hash-shard
+//!    to exactly one worker ([`exec::shard_of`]), so the per-shard merges
+//!    run concurrently with no synchronization at all — contention is
+//!    resolved statically rather than with atomics.  Workers accumulate
+//!    their shards in [`arena::shard::ShardBuf`]s (an append per
+//!    occurrence, self-compacting by sort + fold), so no per-worker hash
+//!    maps are materialised on the traversal hot path and each shard's
+//!    merge is one sort + fold.
+//! 4. **Chunk-granular work decomposition.**  Work items are *chunks* of an
+//!    item's index space ([`exec::chunk_ranges`]), not whole rules or files:
+//!    an oversized rule body (dataset B's root holds most of the corpus),
+//!    local-word list, or root segment is split at
+//!    [`FineGrainedConfig::chunk_elements`] and every chunk is weighted
+//!    individually into [`exec::partition_by_cost`] or the dynamic work
+//!    queue — the CPU analogue of the paper's thread groups for oversized
+//!    rules (Section IV-B), applied to every app path.
+//! 5. **File-major CSR accumulation for term vector.**  The top-down pass
 //!    produces rule-major `(file, occurrences)` tables; term vector consumes
 //!    their transpose ([`file_csr::FileCsr`]) so files can be statically
 //!    partitioned across workers by cost and each worker walks only *its
-//!    own files'* rules, accumulating one file at a time into a reused
-//!    arena table.  File ownership is disjoint, so there is nothing to
-//!    merge — the same static-sharding trick as the global merge.
-//! 5. **Rule-local sequence support** (Figures 6–8).  Sequence tasks build
+//!    own files'* rules, accumulating one file at a time into a dense
+//!    per-worker scratch with touched-word tracking.  File ownership is
+//!    disjoint, so there is nothing to merge — the same static-sharding
+//!    trick as the global merge.
+//! 6. **Rule-local sequence support** (Figures 6–8).  Sequence tasks build
 //!    per-rule head/tail buffers bottom-up and count every window **once per
 //!    rule**, scaling by rule weight (sequence count) or per-file rule
-//!    weight (ranked inverted index); the root is split into chunks the way
-//!    the paper's thread groups split oversized rules (Section IV-B).  This
+//!    weight (ranked inverted index); rule bodies and the root are split
+//!    into chunks the way the paper's thread groups split oversized rules
+//!    (Section IV-B), with chunk-boundary windows completed by an O(`l`)
+//!    word-bounded extension ([`sequences::count_range_windows`]).  This
 //!    is the reuse that lets the engine beat the sequential baseline even on
 //!    a single core — the baseline re-streams every occurrence.
 //!
@@ -59,24 +76,34 @@ use crate::parallel::{run_task_parallel, ParallelConfig};
 use crate::results::*;
 use crate::timing::{PhaseTimings, Timer, WorkStats};
 use crate::weights::file_segments;
-use arena::flat64;
+use arena::shard::{sort_fold, CountEntry, MaskEntry, ShardBuf};
 use exec::WorkerPool;
 use file_csr::FileCsr;
 use head_tail::{build_head_tail, levels_top_down};
-use sequences::{count_root_chunk, count_rule_local, root_chunks, RootChunk};
+use sequences::{count_range_windows, count_root_chunk, root_chunks, RootChunk};
 use sequitur::fxhash::FxHashMap;
 use sequitur::{Dag, Grammar, Symbol, TadocArchive, WordId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Per-rule per-file occurrence counts in compact form: `fw[r]` holds rule
+/// `r`'s `(file, occurrences)` pairs sorted by file id.  The compact lists
+/// replaced the per-rule `FxHashMap<FileId, u64>` tables: dataset B has four
+/// files, so a hash map per rule was almost entirely allocator and probe
+/// overhead.
+pub type FileWeightLists = Vec<Vec<(FileId, u64)>>;
 
 /// Configuration of the fine-grained runner.
 #[derive(Debug, Clone, Copy)]
 pub struct FineGrainedConfig {
     /// Number of worker threads in the pool.
     pub num_threads: usize,
-    /// Target root-body elements per chunk for sequence tasks (the CPU
+    /// Target indices per work chunk: any oversized item — a huge rule body
+    /// (primarily the root), a giant local-word list, a whole-file root
+    /// segment — is split into chunks of at most this many indices, each
+    /// weighted individually into the cost partition / work queue (the CPU
     /// analogue of the thread-group split for oversized rules).
-    pub root_chunk_elements: usize,
+    pub chunk_elements: usize,
 }
 
 impl Default for FineGrainedConfig {
@@ -86,7 +113,7 @@ impl Default for FineGrainedConfig {
             .unwrap_or(1);
         Self {
             num_threads: threads,
-            root_chunk_elements: 4096,
+            chunk_elements: 4096,
         }
     }
 }
@@ -188,9 +215,9 @@ pub fn run_task_fine_grained(
     }
     let pool = WorkerPool::new(fcfg.num_threads);
     match task {
-        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, &pool),
-        Task::InvertedIndex => inverted_index_fine(archive, dag, &pool),
-        Task::TermVector => term_vector_fine(archive, dag, &pool),
+        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, fcfg, &pool),
+        Task::InvertedIndex => inverted_index_fine(archive, dag, fcfg, &pool),
+        Task::TermVector => term_vector_fine(archive, dag, fcfg, &pool),
         Task::SequenceCount => sequence_count_fine(archive, dag, cfg, fcfg, &pool),
         Task::RankedInvertedIndex => ranked_inverted_index_fine(archive, dag, cfg, fcfg, &pool),
     }
@@ -233,69 +260,110 @@ fn parallel_rule_weights(dag: &Dag, pool: &WorkerPool, work: &mut WorkStats) -> 
 
 /// Computes per-rule per-file occurrence counts with the same
 /// level-synchronized top-down schedule, in *pull* form: every rule combines
-/// its root seed with its parents' (already final) tables, so each table is
+/// its root seed with its parents' (already final) lists, so each list is
 /// written by exactly one worker and the propagation needs no locks at all.
+///
+/// The lists are compact `(file, occurrences)` vectors sorted by file id —
+/// no per-rule hash maps (see [`FileWeightLists`]); a rule folds its
+/// parents' contributions with one sort + fold over a scratch vector.
 fn parallel_file_weights(
     grammar: &Grammar,
     dag: &Dag,
     pool: &WorkerPool,
     work: &mut WorkStats,
-) -> Vec<FxHashMap<FileId, u64>> {
+) -> FileWeightLists {
     let n = dag.num_rules;
     if n == 0 {
         return Vec::new();
     }
-    let mut fw: Vec<FxHashMap<FileId, u64>> = vec![FxHashMap::default(); n];
+    let mut fw: FileWeightLists = vec![Vec::new(); n];
 
     // Seed: direct rule references in the root, attributed to their file
-    // (one linear scan of the root body).
+    // (one linear scan of the root body).  Files are visited in id order, so
+    // each rule's seed list comes out sorted by construction.
     let segments = file_segments(grammar);
     let root = grammar.root();
     for (fid, &(start, end)) in segments.iter().enumerate() {
         for sym in &root[start..end] {
             work.elements_scanned += 1;
-            if let Symbol::Rule(c) = sym {
-                *fw[*c as usize].entry(fid as FileId).or_insert(0) += 1;
+            if let Symbol::Rule(c) = *sym {
+                let list = &mut fw[c as usize];
+                match list.last_mut() {
+                    Some(last) if last.0 == fid as FileId => last.1 += 1,
+                    _ => list.push((fid as FileId, 1)),
+                }
                 work.table_ops += 1;
             }
         }
     }
 
     // Pull pass, level by level: all parents of a rule live in strictly
-    // shallower layers, so their tables are final when the rule's level runs.
+    // shallower layers, so their lists are final when the rule's level runs.
+    type LevelResults = Vec<(u32, Vec<(FileId, u64)>)>;
     let ops = AtomicU64::new(0);
     for level in levels_top_down(dag) {
-        let results: Mutex<Vec<(u32, FxHashMap<FileId, u64>)>> =
-            Mutex::new(Vec::with_capacity(level.len()));
+        let results: Mutex<LevelResults> = Mutex::new(Vec::with_capacity(level.len()));
         pool.for_range(level.len(), |i| {
             let r = level[i] as usize;
             if r == 0 {
                 return;
             }
-            let mut table = fw[r].clone(); // root seed
-            let mut local_ops = 0u64;
+            // Common case first: exactly one contributing parent and no
+            // root seed — the list is the parent's, scaled, and stays
+            // sorted without any sort + fold.
+            let mut contributors = 0usize;
+            let mut single: (u32, u32) = (0, 0);
             for &(p, freq) in &dag.parents[r] {
-                if p == 0 {
-                    continue; // already covered by the seed
-                }
-                for (&f, &cnt) in &fw[p as usize] {
-                    *table.entry(f).or_insert(0) += cnt * freq as u64;
-                    local_ops += 1;
+                if p != 0 && !fw[p as usize].is_empty() {
+                    contributors += 1;
+                    single = (p, freq);
                 }
             }
-            ops.fetch_add(local_ops, Ordering::Relaxed);
-            if local_ops > 0 {
-                results
-                    .lock()
-                    .expect("file-weight result mutex poisoned")
-                    .push((r as u32, table));
+            if contributors == 0 {
+                return; // the seed list already in place is final
             }
+            let gathered: Vec<(FileId, u64)> = if contributors == 1 && fw[r].is_empty() {
+                let (p, freq) = single;
+                ops.fetch_add(fw[p as usize].len() as u64, Ordering::Relaxed);
+                fw[p as usize]
+                    .iter()
+                    .map(|&(f, cnt)| (f, cnt * freq as u64))
+                    .collect()
+            } else {
+                let mut gathered: Vec<(FileId, u64)> = Vec::new();
+                let mut local_ops = 0u64;
+                for &(p, freq) in &dag.parents[r] {
+                    if p == 0 {
+                        continue; // already covered by the seed
+                    }
+                    for &(f, cnt) in &fw[p as usize] {
+                        gathered.push((f, cnt * freq as u64));
+                        local_ops += 1;
+                    }
+                }
+                gathered.extend_from_slice(&fw[r]); // root seed
+                gathered.sort_unstable_by_key(|&(f, _)| f);
+                gathered.dedup_by(|cur, prev| {
+                    if cur.0 == prev.0 {
+                        prev.1 += cur.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                ops.fetch_add(local_ops, Ordering::Relaxed);
+                gathered
+            };
+            results
+                .lock()
+                .expect("file-weight result mutex poisoned")
+                .push((r as u32, gathered));
         });
-        for (r, table) in results
+        for (r, list) in results
             .into_inner()
             .expect("file-weight result mutex poisoned")
         {
-            fw[r as usize] = table;
+            fw[r as usize] = list;
         }
     }
     work.table_ops += ops.into_inner();
@@ -339,16 +407,19 @@ where
     pool.map_workers(by_shard, |_s, pieces| merge(pieces))
 }
 
-/// Combines the disjoint per-shard result maps into the final table.
-fn collect_shards<K: Eq + std::hash::Hash, V>(
-    shard_maps: Vec<FxHashMap<K, V>>,
+/// Combines the disjoint per-shard result rows into the final table: shards
+/// partition the key space, so this is the *only* hash insert per distinct
+/// key on the whole merge path (the shard merges themselves are sort + fold
+/// over [`ShardBuf`]s).
+fn collect_shard_rows<K: Eq + std::hash::Hash, V>(
+    shard_rows: Vec<Vec<(K, V)>>,
     work: &mut WorkStats,
 ) -> FxHashMap<K, V> {
     let mut out: FxHashMap<K, V> = FxHashMap::default();
-    out.reserve(shard_maps.iter().map(|m| m.len()).sum());
-    for m in shard_maps {
-        work.table_ops += m.len() as u64;
-        out.extend(m);
+    out.reserve(shard_rows.iter().map(|r| r.len()).sum());
+    for rows in shard_rows {
+        work.table_ops += rows.len() as u64;
+        out.extend(rows);
     }
     out
 }
@@ -358,81 +429,68 @@ fn collect_shards<K: Eq + std::hash::Hash, V>(
 // ---------------------------------------------------------------------------
 
 fn word_count_fine(
-    archive: &TadocArchive,
+    _archive: &TadocArchive,
     dag: &Dag,
     task: Task,
+    fcfg: FineGrainedConfig,
     pool: &WorkerPool,
 ) -> TaskExecution {
     let threads = pool.threads();
     let n = dag.num_rules;
 
     // Phase 1: initialization — weights via the level-synchronized top-down
-    // traversal, plus one arena region per worker sized by a *per-worker
-    // distinct-key bound* (the CPU analogue of genLocTblBoundKernel's
-    // per-rule bounds): rules are statically partitioned across workers by
-    // a prefix-scan over their local-word counts, and each worker's table
-    // holds at most the sum of its own rules' distinct words, capped by the
-    // vocabulary.  This shrinks both the pool and the merge scan from
-    // `threads × vocabulary` to the actual distinct-key total.
+    // traversal.  The work items are *chunks* of each rule's local-word
+    // list (the root's list holds most of a few-huge-files corpus, so a
+    // whole-rule item would serialise on one worker), claimed dynamically.
     let init_timer = Timer::start();
     let mut init_work = WorkStats::default();
     let weights = parallel_rule_weights(dag, pool, &mut init_work);
-    let vocab = archive.vocabulary_size() as u64;
-    let costs: Vec<u64> = (0..n).map(|r| dag.local_words[r].len() as u64).collect();
-    let ranges = exec::partition_by_cost(&costs, threads);
-    let requirements: Vec<u32> = ranges
-        .iter()
-        .map(|range| {
-            let bound: u64 = costs[range.clone()].iter().sum();
-            flat64::words_required(bound.min(vocab) as u32)
-        })
-        .collect();
-    let mut mem = arena::MemoryPool::from_requirements(&requirements);
-    init_work.bytes_moved += mem.total_words() as u64 * 4;
+    let chunks = exec::chunk_ranges(
+        (0..n).map(|r| dag.local_words[r].len()),
+        fcfg.chunk_elements,
+    );
     let init = init_timer.elapsed();
 
-    // Phase 2: traversal — every rule contributes local_words × weight into
-    // its worker's private table; each worker then buckets its own table
-    // once (a tag-skipping scan of its compact region) for the sharded
-    // lock-free merge.
+    // Phase 2: traversal — every chunk appends its local-word slice × rule
+    // weight straight into per-shard [`ShardBuf`]s.  The local-word lists
+    // are already deduplicated per rule, so on real corpora the entry total
+    // is at most a small multiple of the vocabulary and the self-compacting
+    // buffers fold it without any per-occurrence hash probes; the sharded
+    // merge is one sort + fold per shard.
     let trav_timer = Timer::start();
-    let inputs: Vec<(&mut [u32], std::ops::Range<usize>)> =
-        mem.split_regions().into_iter().zip(ranges).collect();
-    let locals: Vec<(Vec<FxHashMap<WordId, u64>>, WorkStats)> =
-        pool.map_workers(inputs, |_w, (region, range)| {
-            flat64::init(region);
+    let queue = exec::WorkQueue::new(chunks.len(), 16);
+    let locals: Vec<(Vec<ShardBuf<CountEntry<WordId>>>, WorkStats)> =
+        pool.collect(|_w| {
+            let mut shards: Vec<ShardBuf<CountEntry<WordId>>> =
+                (0..threads).map(|_| ShardBuf::default()).collect();
             let mut stats = WorkStats::default();
-            for r in range {
-                let weight = weights[r];
-                if weight == 0 {
-                    continue;
+            while let Some(range) = queue.next() {
+                for item in range {
+                    let c = chunks[item];
+                    let r = c.item as usize;
+                    let weight = weights[r];
+                    if weight == 0 {
+                        continue;
+                    }
+                    for &(w, cnt) in &dag.local_words[r][c.begin as usize..c.end as usize] {
+                        shards[exec::shard_of(w as u64, threads)]
+                            .push(CountEntry::new(w, cnt as u64 * weight));
+                        stats.table_ops += 1;
+                    }
+                    stats.elements_scanned += c.len() as u64;
                 }
-                for &(w, c) in &dag.local_words[r] {
-                    flat64::insert_add(region, w, c as u64 * weight);
-                    stats.table_ops += 1;
-                }
-                stats.elements_scanned += dag.rule_lengths[r] as u64;
-            }
-            let mut shards: Vec<FxHashMap<WordId, u64>> =
-                (0..threads).map(|_| FxHashMap::default()).collect();
-            for (k, v) in flat64::iter(region) {
-                shards[exec::shard_of(k as u64, threads)].insert(k, v);
-                stats.table_ops += 1;
             }
             (shards, stats)
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_maps = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
-        let mut out: FxHashMap<WordId, u64> = FxHashMap::default();
-        for map in pieces {
-            for (k, v) in map {
-                *out.entry(k).or_insert(0) += v;
-            }
-        }
-        out
+    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+        ShardBuf::merge(pieces)
+            .into_iter()
+            .map(|e| (e.key, e.count))
+            .collect::<Vec<(WordId, u64)>>()
     });
-    let counts = collect_shards(shard_maps, &mut traversal_work);
+    let counts = collect_shard_rows(shard_rows, &mut traversal_work);
     let wc = WordCountResult { counts };
     let output = if task == Task::WordCount {
         AnalyticsOutput::WordCount(wc)
@@ -456,36 +514,12 @@ fn word_count_fine(
 // inverted index
 // ---------------------------------------------------------------------------
 
-/// An append-mostly posting accumulator: file ids are pushed with duplicates
-/// allowed (a slice append per (rule, word) beats a hash-set insert per
-/// (rule, word, file)), and the buffer compacts itself — sort + dedup in
-/// place — whenever it doubles past its last compacted size.  The amortized
-/// compaction keeps a worker's memory proportional to the *distinct*
-/// (word, file) pairs it owns, not to the total occurrence stream, which on
-/// highly shared grammars can be orders of magnitude larger.
-#[derive(Debug, Default)]
-struct PostingBuf {
-    files: Vec<FileId>,
-    compact_at: usize,
-}
-
-impl PostingBuf {
-    /// Buffers below this never self-compact — the merge dedups them in one
-    /// sort anyway, and re-sorting small growing lists costs more than it
-    /// saves.
-    const COMPACT_FLOOR: usize = 1024;
-
-    fn append(&mut self, files: &[FileId]) {
-        self.files.extend_from_slice(files);
-        if self.files.len() >= self.compact_at.max(Self::COMPACT_FLOOR) {
-            self.files.sort_unstable();
-            self.files.dedup();
-            self.compact_at = 2 * self.files.len();
-        }
-    }
-}
-
-fn inverted_index_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> TaskExecution {
+fn inverted_index_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
+) -> TaskExecution {
     let grammar = &archive.grammar;
     let threads = pool.threads();
     let n = dag.num_rules;
@@ -497,46 +531,66 @@ fn inverted_index_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> 
     let init = init_timer.elapsed();
 
     let trav_timer = Timer::start();
-    // Work item space: non-root rules first, then root segments.  Posting
-    // candidates are *appended* (duplicates allowed) and deduplicated by
-    // [`PostingBuf`] — a slice append per (rule, word) is far cheaper than
-    // a hash-set insert per (rule, word, file), and the merge was already
-    // sorting every posting list anyway.
-    let num_rule_items = n.saturating_sub(1);
-    let queue = exec::WorkQueue::new(num_rule_items + segments.len(), 64);
+    // Work item space: chunks of each non-root rule's local-word list first,
+    // then chunks of the root's file segments — a few huge files fan out
+    // across the whole pool instead of one worker per file.  Posting
+    // candidates are *appended* as `(word, file-block)` bitmask entries into
+    // per-shard [`ShardBuf`]s (duplicates allowed, self-compacting, equal
+    // keys OR their masks): an append per occurrence is far cheaper than a
+    // hash probe per occurrence, and packing 64 files per entry means a rule
+    // with a dense file list costs one entry per (word, block) instead of
+    // one per (word, file).
+    let rule_chunks = exec::chunk_ranges(
+        (0..n).map(|r| if r == 0 { 0 } else { dag.local_words[r].len() }),
+        fcfg.chunk_elements,
+    );
+    let seg_chunks = root_chunks(&segments, fcfg.chunk_elements);
+    let num_rule_items = rule_chunks.len();
+    let queue = exec::WorkQueue::new(num_rule_items + seg_chunks.len(), 16);
     let root = grammar.root();
-    type PostingLists = Vec<FxHashMap<WordId, PostingBuf>>;
-    let locals: Vec<(PostingLists, WorkStats)> =
+    type PostingShards = Vec<ShardBuf<MaskEntry<(WordId, u32)>>>;
+    let locals: Vec<(PostingShards, WorkStats)> =
         pool.collect(|_w| {
-            let mut shards: PostingLists =
-                (0..threads).map(|_| FxHashMap::default()).collect();
+            let mut shards: PostingShards =
+                (0..threads).map(|_| ShardBuf::default()).collect();
             let mut stats = WorkStats::default();
+            // The current rule's file list folded into (block, mask) pairs,
+            // rebuilt once per chunk, not once per word.
+            let mut blocks: Vec<(u32, u64)> = Vec::new();
             while let Some(range) = queue.next() {
                 for item in range {
                     if item < num_rule_items {
-                        let r = item + 1;
+                        let c = rule_chunks[item];
+                        let r = c.item as usize;
                         if fw[r].is_empty() {
                             continue;
                         }
-                        let files: Vec<FileId> = fw[r].keys().copied().collect();
-                        for &(w, _) in &dag.local_words[r] {
-                            shards[exec::shard_of(w as u64, threads)]
-                                .entry(w)
-                                .or_default()
-                                .append(&files);
-                            stats.table_ops += files.len() as u64;
+                        blocks.clear();
+                        for &(f, _) in &fw[r] {
+                            let block = f / 64;
+                            let bit = 1u64 << (f % 64);
+                            match blocks.last_mut() {
+                                Some(last) if last.0 == block => last.1 |= bit,
+                                _ => blocks.push((block, bit)),
+                            }
                         }
-                        stats.elements_scanned += dag.rule_lengths[r] as u64;
+                        for &(w, _) in &dag.local_words[r][c.begin as usize..c.end as usize] {
+                            let s = exec::shard_of(w as u64, threads);
+                            for &(block, mask) in &blocks {
+                                shards[s].push(MaskEntry::new((w, block), mask));
+                            }
+                            stats.table_ops += blocks.len() as u64;
+                        }
+                        stats.elements_scanned += c.len() as u64;
                     } else {
-                        let fid = (item - num_rule_items) as FileId;
-                        let (start, end) = segments[item - num_rule_items];
-                        for sym in &root[start..end] {
+                        let c = seg_chunks[item - num_rule_items];
+                        for sym in &root[c.begin..c.end] {
                             stats.elements_scanned += 1;
                             if let Symbol::Word(w) = *sym {
-                                shards[exec::shard_of(w as u64, threads)]
-                                    .entry(w)
-                                    .or_default()
-                                    .append(&[fid]);
+                                shards[exec::shard_of(w as u64, threads)].push(MaskEntry::new(
+                                    (w, c.file / 64),
+                                    1u64 << (c.file % 64),
+                                ));
                                 stats.table_ops += 1;
                             }
                         }
@@ -547,20 +601,37 @@ fn inverted_index_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> 
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_postings = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
-        let mut merged: FxHashMap<WordId, Vec<FileId>> = FxHashMap::default();
-        for map in pieces {
-            for (w, buf) in map {
-                merged.entry(w).or_default().extend(buf.files);
+    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+        // One sort + OR-fold per shard, then expand the sorted
+        // (word, block) mask runs into per-word posting lists (blocks and
+        // bits ascend, so the lists come out file-sorted).
+        let entries = ShardBuf::merge(pieces);
+        let mut rows: Vec<(WordId, Vec<FileId>)> = Vec::new();
+        let mut i = 0usize;
+        while i < entries.len() {
+            let w = entries[i].key.0;
+            // Size the posting list exactly (one popcount pass over the
+            // word's blocks) so the expansion below never reallocates.
+            let run_end = entries[i..]
+                .iter()
+                .position(|e| e.key.0 != w)
+                .map_or(entries.len(), |p| i + p);
+            let total: u32 = entries[i..run_end].iter().map(|e| e.mask.count_ones()).sum();
+            let mut files = Vec::with_capacity(total as usize);
+            for e in &entries[i..run_end] {
+                let block = e.key.1;
+                let mut mask = e.mask;
+                while mask != 0 {
+                    files.push(block * 64 + mask.trailing_zeros());
+                    mask &= mask - 1;
+                }
             }
+            i = run_end;
+            rows.push((w, files));
         }
-        for list in merged.values_mut() {
-            list.sort_unstable();
-            list.dedup();
-        }
-        merged
+        rows
     });
-    let postings = collect_shards(shard_postings, &mut traversal_work);
+    let postings = collect_shard_rows(shard_rows, &mut traversal_work);
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
@@ -578,7 +649,12 @@ fn inverted_index_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> 
 // term vector
 // ---------------------------------------------------------------------------
 
-fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> TaskExecution {
+fn term_vector_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    fcfg: FineGrainedConfig,
+    pool: &WorkerPool,
+) -> TaskExecution {
     let grammar = &archive.grammar;
     let threads = pool.threads();
     let num_files = archive.num_files().max(grammar.num_files());
@@ -598,6 +674,65 @@ fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> Tas
     let segments = file_segments(grammar);
     let root = grammar.root();
     let n = dag.num_rules;
+
+    // Oversized root segments (a few-huge-files corpus) get their seed scan
+    // chunked across the pool first: each chunk folds its direct rule
+    // references into a compact sorted list, and the per-file propagation
+    // below seeds from the folded lists instead of re-scanning the segment.
+    // Small segments skip this entirely — their seed scan stays fused with
+    // the propagation.
+    let mut seed_chunks: Vec<RootChunk> = Vec::new();
+    for (file, &(start, end)) in segments.iter().enumerate() {
+        if end - start > fcfg.chunk_elements {
+            let mut begin = start;
+            while begin < end {
+                let chunk_end = (begin + fcfg.chunk_elements).min(end);
+                seed_chunks.push(RootChunk {
+                    begin,
+                    end: chunk_end,
+                    seg_end: end,
+                    file: file as FileId,
+                });
+                begin = chunk_end;
+            }
+        }
+    }
+    let mut seeds: Vec<Option<Vec<CountEntry<u32>>>> = vec![None; num_files];
+    if !seed_chunks.is_empty() {
+        let queue = exec::WorkQueue::new(seed_chunks.len(), 1);
+        type SeedLists = Vec<(FileId, Vec<CountEntry<u32>>)>;
+        let locals: Vec<(SeedLists, WorkStats)> = pool.collect(|_w| {
+            let mut out: SeedLists = Vec::new();
+            let mut stats = WorkStats::default();
+            while let Some(range) = queue.next() {
+                for ci in range {
+                    let c = seed_chunks[ci];
+                    let mut buf: ShardBuf<CountEntry<u32>> = ShardBuf::default();
+                    for sym in &root[c.begin..c.end] {
+                        stats.elements_scanned += 1;
+                        if let Symbol::Rule(r) = *sym {
+                            buf.push(CountEntry::new(r, 1));
+                        }
+                    }
+                    out.push((c.file, buf.into_sorted()));
+                }
+            }
+            (out, stats)
+        });
+        for (lists, stats) in locals {
+            init_work.merge(&stats);
+            for (f, list) in lists {
+                seeds[f as usize]
+                    .get_or_insert_with(Vec::new)
+                    .extend(list);
+            }
+        }
+        for seed in seeds.iter_mut().flatten() {
+            sort_fold(seed);
+            init_work.table_ops += seed.len() as u64;
+        }
+    }
+
     // Dynamic chunking sized like `for_range`: corpora with fewer files
     // than `threads × 8` must still spread across workers (dataset B has 4
     // huge files — a fixed chunk would hand all of them to one worker).
@@ -611,8 +746,18 @@ fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> Tas
         let mut out: FileRows = Vec::new();
         while let Some(range) = queue.next() {
             for f in range {
-                // Seed: direct rule references in the file's root segment.
-                if let Some(&(start, end)) = segments.get(f) {
+                // Seed: direct rule references in the file's root segment —
+                // from the pre-folded chunk lists for oversized segments,
+                // from the segment scan otherwise.
+                if let Some(seed) = &seeds[f] {
+                    for &CountEntry { key: c, count } in seed {
+                        if occ[c as usize] == 0 {
+                            buckets[dag.layers[c as usize] as usize].push(c);
+                        }
+                        occ[c as usize] += count;
+                        stats.table_ops += 1;
+                    }
+                } else if let Some(&(start, end)) = segments.get(f) {
                     for sym in &root[start..end] {
                         stats.elements_scanned += 1;
                         if let Symbol::Rule(c) = *sym {
@@ -661,7 +806,7 @@ fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> Tas
     }
     let csr = FileCsr::from_rows(rows);
     init_work.table_ops += csr.nnz() as u64;
-    let vocab = archive.vocabulary_size() as u64;
+    let vocab = archive.vocabulary_size();
     let costs: Vec<u64> = (0..num_files)
         .map(|f| {
             let root_words = segments.get(f).map_or(0, |&(s, e)| (e - s) as u64);
@@ -673,45 +818,35 @@ fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> Tas
         })
         .collect();
     let ranges = exec::partition_by_cost(&costs, threads);
-    let requirements: Vec<u32> = ranges
-        .iter()
-        .map(|range| {
-            let bound = costs[range.clone()].iter().copied().max().unwrap_or(0);
-            flat64::words_required(bound.min(vocab) as u32)
-        })
-        .collect();
-    let mut mem = arena::MemoryPool::from_requirements(&requirements);
-    init_work.bytes_moved += mem.total_words() as u64 * 4;
     let init = init_timer.elapsed();
 
     // Phase 2: traversal — file-major accumulation.  Each worker owns a
     // contiguous file range and walks only those files' CSR entries,
-    // accumulating one file at a time into its reused arena table; file
-    // ownership is disjoint, so the "merge" is a plain scatter of finished
-    // vectors.  (The previous design had every worker walk every rule and
-    // filter by file ownership, multiplying the rule scan by the worker
-    // count.)
+    // accumulating one file at a time into a dense per-worker
+    // `counts[word]` scratch with a touched-word list: word ids are already
+    // a perfect hash of the vocabulary, so the accumulate is a direct array
+    // add (no probing at all) and the per-file cleanup touches only the
+    // file's own words.  File ownership is disjoint, so the "merge" is a
+    // plain scatter of finished vectors.
     let trav_timer = Timer::start();
     type FileVectors = Vec<(usize, Vec<(WordId, u64)>)>;
-    let inputs: Vec<(&mut [u32], std::ops::Range<usize>)> =
-        mem.split_regions().into_iter().zip(ranges).collect();
     let locals: Vec<(FileVectors, WorkStats)> =
-        pool.map_workers(inputs, |_w, (region, files)| {
+        pool.map_workers(ranges, |_w, files| {
             let mut stats = WorkStats::default();
+            let mut counts: Vec<u64> = vec![0; vocab];
+            let mut touched: Vec<WordId> = Vec::new();
+            stats.bytes_moved += vocab as u64 * 8;
             let mut vectors: FileVectors = Vec::with_capacity(files.len());
             for f in files {
-                // Work in a sub-slice sized for *this* file's bound: the
-                // per-file re-initialisation then costs words proportional
-                // to the file itself, not to the largest file of the range.
-                let words = flat64::words_required(costs[f].min(vocab) as u32) as usize;
-                let table = &mut region[..words];
-                flat64::init(table);
                 // Root words of the file's segment.
                 if let Some(&(start, end)) = segments.get(f) {
                     for sym in &root[start..end] {
                         stats.elements_scanned += 1;
                         if let Symbol::Word(w) = *sym {
-                            flat64::insert_add(table, w, 1);
+                            if counts[w as usize] == 0 {
+                                touched.push(w);
+                            }
+                            counts[w as usize] += 1;
                             stats.table_ops += 1;
                         }
                     }
@@ -719,13 +854,23 @@ fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> Tas
                 // Rule-local words scaled by the rule's occurrences in `f`.
                 for (r, occ) in csr.entries(f) {
                     for &(w, c) in &dag.local_words[r as usize] {
-                        flat64::insert_add(table, w, c as u64 * occ);
+                        if counts[w as usize] == 0 {
+                            touched.push(w);
+                        }
+                        counts[w as usize] += c as u64 * occ;
                         stats.table_ops += 1;
                     }
                     stats.elements_scanned += dag.rule_lengths[r as usize] as u64;
                 }
-                let mut v: Vec<(WordId, u64)> = flat64::iter(table).collect();
-                v.sort_unstable();
+                touched.sort_unstable();
+                let v: Vec<(WordId, u64)> = touched
+                    .iter()
+                    .map(|&w| (w, counts[w as usize]))
+                    .collect();
+                for &w in &touched {
+                    counts[w as usize] = 0;
+                }
+                touched.clear();
                 stats.bytes_moved += v.len() as u64 * 12;
                 vectors.push((f, v));
             }
@@ -757,15 +902,25 @@ fn term_vector_fine(archive: &TadocArchive, dag: &Dag, pool: &WorkerPool) -> Tas
 // sequence count / ranked inverted index
 // ---------------------------------------------------------------------------
 
-/// Work item of the sequence traversals: a whole non-root rule, or one chunk
-/// of the root body.
+/// Work item of the sequence traversals: one chunk of a non-root rule body
+/// (most rules are one chunk; oversized bodies split at the chunking
+/// threshold), or one chunk of the root body.
 enum SeqItem {
-    Rule(usize),
+    /// Element range `[begin, end)` of rule `r`'s body.
+    Rule { r: usize, begin: usize, end: usize },
     Root(RootChunk),
 }
 
-fn sequence_work_items(dag: &Dag, segments: &[(usize, usize)], target: usize) -> Vec<SeqItem> {
-    let mut items: Vec<SeqItem> = (1..dag.num_rules).map(SeqItem::Rule).collect();
+fn sequence_work_items(grammar: &Grammar, segments: &[(usize, usize)], target: usize) -> Vec<SeqItem> {
+    let body_lens = (0..grammar.rules.len()).map(|r| if r == 0 { 0 } else { grammar.rules[r].len() });
+    let mut items: Vec<SeqItem> = exec::chunk_ranges(body_lens, target)
+        .into_iter()
+        .map(|c| SeqItem::Rule {
+            r: c.item as usize,
+            begin: c.begin as usize,
+            end: c.end as usize,
+        })
+        .collect();
     items.extend(root_chunks(segments, target).into_iter().map(SeqItem::Root));
     items
 }
@@ -800,37 +955,38 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
     let weights = parallel_rule_weights(dag, pool, &mut init_work);
     let ht = build_head_tail(grammar, dag, l, pool, &mut init_work);
     let segments = file_segments(grammar);
-    let items = sequence_work_items(dag, &segments, fcfg.root_chunk_elements);
+    let items = sequence_work_items(grammar, &segments, fcfg.chunk_elements);
     let init = init_timer.elapsed();
 
     let trav_timer = Timer::start();
     let queue = exec::WorkQueue::new(items.len(), 16);
-    let locals: Vec<(Vec<FxHashMap<K, u64>>, WorkStats)> =
+    let locals: Vec<(Vec<ShardBuf<CountEntry<K>>>, WorkStats)> =
         pool.collect(|_w| {
-            let mut shards: Vec<FxHashMap<K, u64>> =
-                (0..threads).map(|_| FxHashMap::default()).collect();
+            let mut shards: Vec<ShardBuf<CountEntry<K>>> =
+                (0..threads).map(|_| ShardBuf::default()).collect();
             let mut stats = WorkStats::default();
             while let Some(range) = queue.next() {
                 for item in range {
                     match items[item] {
-                        SeqItem::Rule(r) => {
+                        SeqItem::Rule { r, begin, end } => {
                             let weight = weights[r];
                             if weight == 0 {
                                 continue;
                             }
-                            count_rule_local(&grammar.rules[r], &ht, |words, _| {
+                            let body = &grammar.rules[r];
+                            count_range_windows(body, &ht, begin, end, body.len(), |words, _| {
                                 let key = K::encode(words);
                                 let s = exec::shard_of(key.hash64(), threads);
-                                *shards[s].entry(key).or_insert(0) += weight;
+                                shards[s].push(CountEntry::new(key, weight));
                                 stats.table_ops += 1;
                             });
-                            stats.elements_scanned += dag.rule_lengths[r] as u64;
+                            stats.elements_scanned += (end - begin) as u64;
                         }
                         SeqItem::Root(chunk) => {
                             count_root_chunk(grammar.root(), &ht, chunk, |words| {
                                 let key = K::encode(words);
                                 let s = exec::shard_of(key.hash64(), threads);
-                                *shards[s].entry(key).or_insert(0) += 1;
+                                shards[s].push(CountEntry::new(key, 1));
                                 stats.table_ops += 1;
                             });
                             stats.elements_scanned += (chunk.end - chunk.begin) as u64;
@@ -842,19 +998,13 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_counts = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
-        let mut merged: FxHashMap<K, u64> = FxHashMap::default();
-        for map in pieces {
-            for (key, c) in map {
-                *merged.entry(key).or_insert(0) += c;
-            }
-        }
-        merged
+    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+        ShardBuf::merge(pieces)
             .into_iter()
-            .map(|(key, c)| (key.decode(l), c))
-            .collect::<FxHashMap<Sequence, u64>>()
+            .map(|e| (e.key.decode(l), e.count))
+            .collect::<Vec<(Sequence, u64)>>()
     });
-    let counts = collect_shards(shard_counts, &mut traversal_work);
+    let counts = collect_shard_rows(shard_rows, &mut traversal_work);
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
@@ -898,49 +1048,54 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
     let fw = parallel_file_weights(grammar, dag, pool, &mut init_work);
     let ht = build_head_tail(grammar, dag, l, pool, &mut init_work);
     let segments = file_segments(grammar);
-    let items = sequence_work_items(dag, &segments, fcfg.root_chunk_elements);
+    let items = sequence_work_items(grammar, &segments, fcfg.chunk_elements);
     let init = init_timer.elapsed();
 
     let trav_timer = Timer::start();
     let queue = exec::WorkQueue::new(items.len(), 16);
-    type PerFile = FxHashMap<FileId, u64>;
-    let locals: Vec<(Vec<FxHashMap<K, PerFile>>, WorkStats)> =
+    // Shard entries are ((sequence key, file), count): sharding by the
+    // sequence key alone keeps all files of one sequence in one shard, so
+    // the merge can slice the sorted entries into per-sequence file lists.
+    type RankedShards<K> = Vec<ShardBuf<CountEntry<(K, FileId)>>>;
+    let locals: Vec<(RankedShards<K>, WorkStats)> =
         pool.collect(|_w| {
-            let mut shards: Vec<FxHashMap<K, PerFile>> =
-                (0..threads).map(|_| FxHashMap::default()).collect();
+            let mut shards: RankedShards<K> =
+                (0..threads).map(|_| ShardBuf::default()).collect();
             let mut stats = WorkStats::default();
+            let mut local: Vec<CountEntry<K>> = Vec::new();
             while let Some(range) = queue.next() {
                 for item in range {
                     match items[item] {
-                        SeqItem::Rule(r) => {
+                        SeqItem::Rule { r, begin, end } => {
                             if fw[r].is_empty() {
                                 continue;
                             }
-                            // Count the rule's local windows once, then scale
-                            // by the per-file occurrence counts.
-                            let mut local: FxHashMap<K, u64> = FxHashMap::default();
-                            count_rule_local(&grammar.rules[r], &ht, |words, _| {
-                                *local.entry(K::encode(words)).or_insert(0) += 1;
+                            // Count the chunk's local windows once (folded
+                            // in a scratch vector), then scale by the
+                            // per-file occurrence counts.
+                            local.clear();
+                            let body = &grammar.rules[r];
+                            count_range_windows(body, &ht, begin, end, body.len(), |words, _| {
+                                local.push(CountEntry::new(K::encode(words), 1));
                             });
-                            for (key, c) in local {
-                                let s = exec::shard_of(key.hash64(), threads);
-                                let per_file = shards[s].entry(key).or_default();
-                                for (&f, &occ) in &fw[r] {
-                                    *per_file.entry(f).or_insert(0) += c * occ;
+                            sort_fold(&mut local);
+                            for e in local.drain(..) {
+                                let s = exec::shard_of(e.key.hash64(), threads);
+                                for &(f, occ) in &fw[r] {
+                                    shards[s].push(CountEntry::new(
+                                        (e.key.clone(), f),
+                                        e.count * occ,
+                                    ));
                                     stats.table_ops += 1;
                                 }
                             }
-                            stats.elements_scanned += dag.rule_lengths[r] as u64;
+                            stats.elements_scanned += (end - begin) as u64;
                         }
                         SeqItem::Root(chunk) => {
                             count_root_chunk(grammar.root(), &ht, chunk, |words| {
                                 let key = K::encode(words);
                                 let s = exec::shard_of(key.hash64(), threads);
-                                *shards[s]
-                                    .entry(key)
-                                    .or_default()
-                                    .entry(chunk.file)
-                                    .or_insert(0) += 1;
+                                shards[s].push(CountEntry::new((key, chunk.file), 1));
                                 stats.table_ops += 1;
                             });
                             stats.elements_scanned += (chunk.end - chunk.begin) as u64;
@@ -952,26 +1107,28 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_postings = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
-        let mut merged: FxHashMap<K, PerFile> = FxHashMap::default();
-        for map in pieces {
-            for (key, per_file) in map {
-                let entry = merged.entry(key).or_default();
-                for (f, c) in per_file {
-                    *entry.entry(f).or_insert(0) += c;
+    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+        // One sort + fold per shard, then slice the ((key, file), count)
+        // runs into per-sequence postings ranked by in-file frequency.
+        let entries = ShardBuf::merge(pieces);
+        let mut rows: Vec<(Sequence, Vec<(FileId, u64)>)> = Vec::new();
+        let mut iter = entries.into_iter().peekable();
+        while let Some(e) = iter.next() {
+            let (key, f) = e.key;
+            let mut files: Vec<(FileId, u64)> = vec![(f, e.count)];
+            while let Some(next) = iter.peek() {
+                if next.key.0 != key {
+                    break;
                 }
+                let next = iter.next().expect("peeked entry vanished");
+                files.push((next.key.1, next.count));
             }
+            files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            rows.push((key.decode(l), files));
         }
-        merged
-            .into_iter()
-            .map(|(key, m)| {
-                let mut v: Vec<(FileId, u64)> = m.into_iter().collect();
-                v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                (key.decode(l), v)
-            })
-            .collect::<FxHashMap<Sequence, Vec<(FileId, u64)>>>()
+        rows
     });
-    let postings = collect_shards(shard_postings, &mut traversal_work);
+    let postings = collect_shard_rows(shard_rows, &mut traversal_work);
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
@@ -1018,11 +1175,23 @@ mod tests {
         let _ = archive;
     }
 
+    /// Converts the sequential oracle's per-rule hash maps into the compact
+    /// sorted-list form the fine engine uses.
+    fn to_lists(fw: &[FxHashMap<FileId, u64>]) -> FileWeightLists {
+        fw.iter()
+            .map(|m| {
+                let mut v: Vec<(FileId, u64)> = m.iter().map(|(&f, &c)| (f, c)).collect();
+                v.sort_unstable_by_key(|&(f, _)| f);
+                v
+            })
+            .collect()
+    }
+
     #[test]
     fn parallel_file_weights_match_sequential() {
         let (archive, dag) = build(&redundant_corpus());
         let mut w1 = WorkStats::default();
-        let expected = weights::file_weights(&archive.grammar, &dag, &mut w1);
+        let expected = to_lists(&weights::file_weights(&archive.grammar, &dag, &mut w1));
         for threads in [1, 4] {
             let pool = WorkerPool::new(threads);
             let mut w2 = WorkStats::default();
@@ -1046,7 +1215,11 @@ mod tests {
                 .iter()
                 .enumerate()
                 .skip(1)
-                .filter_map(|(r, m)| m.get(&(f as FileId)).map(|&occ| (r as u32, occ)))
+                .filter_map(|(r, list)| {
+                    list.iter()
+                        .find(|&&(lf, _)| lf == f as FileId)
+                        .map(|&(_, occ)| (r as u32, occ))
+                })
                 .collect();
             expected.sort_unstable();
             assert_eq!(got, expected, "file {f}");
@@ -1062,7 +1235,7 @@ mod tests {
             for threads in [1usize, 3, 8] {
                 let fcfg = FineGrainedConfig {
                     num_threads: threads,
-                    root_chunk_elements: 7,
+                    chunk_elements: 7,
                 };
                 let fine = run_task_fine_grained(&archive, &dag, task, cfg, fcfg);
                 assert_eq!(

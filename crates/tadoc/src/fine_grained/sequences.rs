@@ -54,9 +54,11 @@ pub fn unpack_sequence(key: u64, l: usize) -> Vec<u32> {
     out
 }
 
-/// A hash-table key for sequence windows: either the packed 64-bit form
+/// A sortable key for sequence windows: either the packed 64-bit form
 /// (the hot path — no allocation per window) or the owned word vector.
-pub trait SeqKey: Eq + std::hash::Hash + Send {
+/// `Ord` is what the append-and-compact shard buffers sort and fold by;
+/// `Hash` routes keys to merge shards.
+pub trait SeqKey: Eq + Ord + Clone + std::hash::Hash + Send {
     /// Encodes a window.
     fn encode(words: &[u32]) -> Self;
     /// Decodes back into the result-map key.
@@ -156,9 +158,13 @@ pub fn build_stream(body: &[Symbol], ht: &HeadTail, start: usize, end: usize) ->
     stream
 }
 
-/// Slides an `l`-window over a pseudo-stream, invoking
+/// Slides an `l`-window over a *materialized* pseudo-stream, invoking
 /// `emit(words, first_element)` for every window that is local to the rule
 /// (i.e. not fully contained in a single sub-rule occurrence).
+///
+/// This is the reference implementation the streaming
+/// [`count_range_windows`] path is tested against; the hot paths use its
+/// allocation-free ring-buffer walk instead.
 pub fn count_stream_windows<F: FnMut(&[u32], u32)>(stream: &[StreamItem], l: usize, mut emit: F) {
     if l == 0 || stream.len() < l {
         return;
@@ -186,6 +192,186 @@ pub fn count_stream_windows<F: FnMut(&[u32], u32)>(stream: &[StreamItem], l: usi
                 }
             }
         }
+    }
+}
+
+/// An allocation-free sliding `l`-window over the pseudo-stream, fed one
+/// word (or gap) at a time.
+///
+/// This replaces the materialized [`build_stream`] `Vec<StreamItem>` on the
+/// hot paths: the window lives in a small ring buffer, so counting a rule or
+/// chunk touches no heap beyond the two fixed scratch vectors, and the
+/// emission rule is identical to [`count_stream_windows`] — a window is
+/// emitted unless it is fully contained in a single sub-rule occurrence
+/// (same element, no own word).
+struct WindowSlider {
+    l: usize,
+    /// Ring of the last `l` `(word, element, own)` items; `head` indexes the
+    /// oldest.
+    ring: Vec<(u32, u32, bool)>,
+    head: usize,
+    len: usize,
+    /// Scratch the window's words are assembled into, oldest first.
+    words: Vec<u32>,
+}
+
+impl WindowSlider {
+    fn new(l: usize) -> Self {
+        Self {
+            l,
+            ring: vec![(0, 0, false); l.max(1)],
+            head: 0,
+            len: 0,
+            words: vec![0; l.max(1)],
+        }
+    }
+
+    /// A gap no window may cross: interior of a long sub-rule, or a file
+    /// splitter.
+    #[inline]
+    fn gap(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Pushes one word and emits the completed window (if any) that ends on
+    /// it.
+    #[inline]
+    fn word<F: FnMut(&[u32], u32)>(&mut self, word: u32, element: u32, own: bool, emit: &mut F) {
+        let l = self.l;
+        if self.len == l {
+            self.ring[self.head] = (word, element, own);
+            self.head += 1;
+            if self.head == l {
+                self.head = 0;
+            }
+        } else {
+            let slot = self.head + self.len;
+            self.ring[if slot >= l { slot - l } else { slot }] = (word, element, own);
+            self.len += 1;
+            if self.len < l {
+                return;
+            }
+        }
+        let first_elem = self.ring[self.head].1;
+        let mut same_element = true;
+        let mut any_own = false;
+        for i in 0..l {
+            let idx = self.head + i;
+            let (w, e, o) = self.ring[if idx >= l { idx - l } else { idx }];
+            self.words[i] = w;
+            same_element &= e == first_elem;
+            any_own |= o;
+        }
+        if !same_element || any_own {
+            emit(&self.words, first_elem);
+        }
+    }
+
+    /// Pushes every word of one body element (a word of the rule itself, a
+    /// sub-rule's short expansion or head/gap/tail, or a splitter gap).
+    #[inline]
+    fn push_element<F: FnMut(&[u32], u32)>(
+        &mut self,
+        sym: Symbol,
+        element: u32,
+        ht: &HeadTail,
+        emit: &mut F,
+    ) {
+        match sym {
+            Symbol::Word(w) => self.word(w, element, true, emit),
+            Symbol::Rule(c) => {
+                let c = c as usize;
+                if let Some(full) = &ht.short_expansion[c] {
+                    for &w in full {
+                        self.word(w, element, false, emit);
+                    }
+                } else {
+                    for &w in &ht.head[c] {
+                        self.word(w, element, false, emit);
+                    }
+                    self.gap();
+                    for &w in &ht.tail[c] {
+                        self.word(w, element, false, emit);
+                    }
+                }
+            }
+            Symbol::Splitter(_) => self.gap(),
+        }
+    }
+}
+
+/// Counts the windows of `body` whose first word lies in the element range
+/// `[begin, end)`, completing right-boundary-crossing windows with at most
+/// `l - 1` *words* read from elements in `[end, limit)`.
+///
+/// This is the shared engine behind both whole-rule counting
+/// ([`count_rule_local`]) and chunked counting ([`count_root_chunk`] and
+/// rule-body chunks): chunks of one body partition its windows exactly —
+/// every window is counted by the single chunk its first word falls into.
+/// The boundary extension is O(`l`) words per chunk: it stops as soon as
+/// `l - 1` words have been appended, a gap is reached (the interior of a
+/// long sub-rule, which no window crosses anyway), or `limit` is hit —
+/// unlike the earlier revision, which re-streamed up to `l - 1` whole
+/// *elements* (each expanding to up to `2(l-1)` head/tail words) and slid
+/// windows through them only to filter the emissions back out.
+pub fn count_range_windows<F: FnMut(&[u32], u32)>(
+    body: &[Symbol],
+    ht: &HeadTail,
+    begin: usize,
+    end: usize,
+    limit: usize,
+    mut emit: F,
+) {
+    let l = ht.l;
+    if l == 0 || begin >= end {
+        return;
+    }
+    let mut slider = WindowSlider::new(l);
+    // Windows may not start in the extension (it holds at most l-1 words),
+    // so every emission's first word is within [begin, end) by construction;
+    // the filter is a cheap guard that keeps the contract explicit.
+    let mut emit_in_chunk = |words: &[u32], first_elem: u32| {
+        if (first_elem as usize) < end {
+            emit(words, first_elem);
+        }
+    };
+    for (idx, &sym) in body[begin..end].iter().enumerate() {
+        slider.push_element(sym, (begin + idx) as u32, ht, &mut emit_in_chunk);
+    }
+    // Right-boundary extension: at most l-1 further words.
+    let keep = l - 1;
+    let mut appended = 0usize;
+    let mut element = end;
+    'extension: while element < limit && appended < keep {
+        match body[element] {
+            Symbol::Word(w) => {
+                slider.word(w, element as u32, true, &mut emit_in_chunk);
+                appended += 1;
+            }
+            Symbol::Rule(c) => {
+                let c = c as usize;
+                let (source, gap_after): (&[u32], bool) = match &ht.short_expansion[c] {
+                    Some(full) => (full, false),
+                    None => (&ht.head[c], true),
+                };
+                for &w in source {
+                    slider.word(w, element as u32, false, &mut emit_in_chunk);
+                    appended += 1;
+                    if appended >= keep {
+                        break 'extension;
+                    }
+                }
+                if gap_after {
+                    // The long sub-rule's interior is a gap: no window that
+                    // started inside the chunk survives past it.
+                    break 'extension;
+                }
+            }
+            // A splitter is a gap: no window crosses a file boundary.
+            Symbol::Splitter(_) => break 'extension,
+        }
+        element += 1;
     }
 }
 
@@ -231,26 +417,22 @@ pub fn root_chunks(segments: &[(usize, usize)], target: usize) -> Vec<RootChunk>
 /// Counts the sequences local to non-root rule `body`, one `emit` per
 /// occurrence.
 pub fn count_rule_local<F: FnMut(&[u32], u32)>(body: &[Symbol], ht: &HeadTail, emit: F) {
-    let stream = build_stream(body, ht, 0, body.len());
-    count_stream_windows(&stream, ht.l, emit);
+    count_range_windows(body, ht, 0, body.len(), body.len(), emit);
 }
 
 /// Counts the root-local sequences whose first word lies in `chunk`, one
-/// `emit` per occurrence.  Windows may extend up to `l-1` elements past the
+/// `emit` per occurrence.  Windows may read up to `l-1` words past the
 /// chunk (still within the file segment) — exactly the cross-boundary
-/// information the head/tail buffers exist to provide.
+/// information the head/tail buffers exist to provide; see
+/// [`count_range_windows`] for the O(`l`) boundary-extension contract.
 pub fn count_root_chunk<F: FnMut(&[u32])>(
     root: &[Symbol],
     ht: &HeadTail,
     chunk: RootChunk,
     mut emit: F,
 ) {
-    let extended_end = (chunk.end + ht.l.saturating_sub(1)).min(chunk.seg_end);
-    let stream = build_stream(root, ht, chunk.begin, extended_end);
-    count_stream_windows(&stream, ht.l, |words, first_element| {
-        if (first_element as usize) < chunk.end {
-            emit(words);
-        }
+    count_range_windows(root, ht, chunk.begin, chunk.end, chunk.seg_end, |words, _| {
+        emit(words)
     });
 }
 
@@ -357,6 +539,108 @@ mod tests {
                 covered = c.end;
             }
             assert_eq!(covered, end, "file {file}");
+        }
+    }
+
+    /// The streaming [`WindowSlider`] walk must emit exactly the windows of
+    /// the materialized [`build_stream`] + [`count_stream_windows`]
+    /// reference, in the same order.
+    #[test]
+    fn streaming_windows_match_materialized_reference() {
+        let shared = "m n o p q r s t ".repeat(10);
+        let corpus = vec![
+            ("a".to_string(), format!("{shared} one two three {shared}")),
+            ("b".to_string(), format!("{shared} x")),
+            ("c".to_string(), "lone".to_string()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        for l in [1usize, 2, 3, 4] {
+            let mut work = WorkStats::default();
+            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            for body in &archive.grammar.rules {
+                let stream = build_stream(body, &ht, 0, body.len());
+                let mut expected: Vec<(Vec<u32>, u32)> = Vec::new();
+                count_stream_windows(&stream, l, |words, e| expected.push((words.to_vec(), e)));
+                let mut got: Vec<(Vec<u32>, u32)> = Vec::new();
+                count_range_windows(body, &ht, 0, body.len(), body.len(), |words, e| {
+                    got.push((words.to_vec(), e))
+                });
+                assert_eq!(got, expected, "l = {l}");
+            }
+        }
+    }
+
+    /// Windows spanning a chunk boundary must be counted exactly once — by
+    /// the chunk their first word falls into — for every chunking target,
+    /// including target = 1 (every element its own chunk, maximal number of
+    /// boundaries).
+    #[test]
+    fn boundary_windows_counted_exactly_once() {
+        // Repetition creates sub-rules, so chunk boundaries land between
+        // rule references whose heads/tails feed the boundary windows.
+        let shared = "u v w x y z ".repeat(9);
+        let corpus = vec![
+            ("a".to_string(), format!("{shared} tail0 tail1 tail2")),
+            ("b".to_string(), shared.clone()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        let segments = file_segments(&archive.grammar);
+        let root = archive.grammar.root();
+        for l in [2usize, 3, 4] {
+            let mut work = WorkStats::default();
+            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            let mut whole: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+            for chunk in root_chunks(&segments, usize::MAX) {
+                count_root_chunk(root, &ht, chunk, |words| {
+                    *whole.entry(words.to_vec()).or_insert(0) += 1;
+                });
+            }
+            for target in [1usize, 2, 5] {
+                let mut chunked: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+                for chunk in root_chunks(&segments, target) {
+                    count_root_chunk(root, &ht, chunk, |words| {
+                        *chunked.entry(words.to_vec()).or_insert(0) += 1;
+                    });
+                }
+                assert_eq!(chunked, whole, "l = {l}, target = {target}");
+            }
+        }
+    }
+
+    /// Chunks of a non-root rule body partition the rule's local windows
+    /// exactly, matching the whole-body count.
+    #[test]
+    fn chunked_rule_bodies_partition_windows_exactly() {
+        let shared = "c1 c2 c3 c4 c5 c6 c7 ".repeat(8);
+        let corpus = vec![
+            ("a".to_string(), format!("{shared} k1 k2 {shared}")),
+            ("b".to_string(), shared.clone()),
+        ];
+        let archive = compress_corpus(&corpus, CompressOptions::default());
+        let dag = Dag::from_grammar(&archive.grammar);
+        for l in [2usize, 3] {
+            let mut work = WorkStats::default();
+            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            for body in archive.grammar.rules.iter().skip(1) {
+                let mut whole: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+                count_rule_local(body, &ht, |words, _| {
+                    *whole.entry(words.to_vec()).or_insert(0) += 1;
+                });
+                for target in [1usize, 2, 4] {
+                    let mut chunked: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+                    let mut begin = 0usize;
+                    while begin < body.len() {
+                        let end = (begin + target).min(body.len());
+                        count_range_windows(body, &ht, begin, end, body.len(), |words, _| {
+                            *chunked.entry(words.to_vec()).or_insert(0) += 1;
+                        });
+                        begin = end;
+                    }
+                    assert_eq!(chunked, whole, "l = {l}, target = {target}");
+                }
+            }
         }
     }
 

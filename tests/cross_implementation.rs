@@ -212,6 +212,60 @@ fn empty_file_archive_agrees_on_all_tasks_at_all_thread_counts() {
     }
 }
 
+/// Dataset-B-shaped regression corpus: a few huge files whose root body
+/// dominates the grammar.  This is the shape where whole-rule work items
+/// serialise on one worker — the chunk-granular decomposition must both
+/// agree with the sequential engine and actually be exercised (the root is
+/// far larger than the chunking threshold).  All six tasks, 1/4/8 threads,
+/// at the default threshold and at a small one that multiplies chunk
+/// boundaries.
+#[test]
+fn dataset_b_shaped_corpus_agrees_on_all_tasks_at_all_thread_counts() {
+    let corpus = DatasetPreset::new(DatasetId::B).generate_scaled(1.0);
+    assert!(
+        (2..=4).contains(&corpus.files.len()),
+        "dataset B preset must stay a few-huge-files corpus"
+    );
+    for (name, tokens) in corpus.file_names.iter().zip(&corpus.files) {
+        assert!(
+            tokens.len() >= 50_000,
+            "file {name} must hold at least 50k tokens"
+        );
+    }
+    let archive = corpus.compress();
+    let dag = Dag::from_grammar(&archive.grammar);
+    let default_chunk = FineGrainedConfig::default().chunk_elements;
+    assert!(
+        archive.grammar.root().len() > default_chunk,
+        "the root body must exceed the chunking threshold, or this test \
+         no longer exercises chunk-granular decomposition"
+    );
+    let cfg = TaskConfig::default();
+    for task in Task::ALL {
+        let sequential = run_task(&archive, &dag, task, cfg);
+        for threads in [1usize, 4, 8] {
+            for chunk_elements in [default_chunk, 512] {
+                let fine = run_task_fine_grained(
+                    &archive,
+                    &dag,
+                    task,
+                    cfg,
+                    FineGrainedConfig {
+                        num_threads: threads,
+                        chunk_elements,
+                    },
+                );
+                assert_eq!(
+                    fine.output,
+                    sequential.output,
+                    "fine ({threads} threads, chunk {chunk_elements}) vs sequential on {}",
+                    task.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn both_gpu_traversal_strategies_agree_on_every_platform() {
     let corpus = corpora().remove(1).1;
