@@ -8,7 +8,7 @@ use bench::experiments::{prepare_dataset, ExperimentScale};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::DatasetId;
 use tadoc::apps::{Task, TaskConfig};
-use tadoc::fine_grained::{run_task_with_mode, ExecutionMode, FineGrainedConfig};
+use tadoc::fine_grained::{run_task_with_mode, Engine, ExecutionMode, FineGrainedConfig};
 use tadoc::parallel::ParallelConfig;
 
 const SCALE: ExperimentScale = ExperimentScale(0.05);
@@ -45,5 +45,47 @@ fn bench_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_modes);
+/// One-shot wrapper vs warm `Engine` session: the same task, either paying
+/// the full shared init every call or served from the session cache.
+fn bench_session_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_session");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let cfg = TaskConfig::default();
+    for dataset in [DatasetId::A, DatasetId::B] {
+        let prepared = prepare_dataset(dataset, SCALE);
+        for task in [Task::WordCount, Task::SequenceCount] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("one_shot/{}", task.name()), dataset.label()),
+                &prepared,
+                |b, p| {
+                    b.iter(|| {
+                        run_task_with_mode(
+                            &p.archive,
+                            &p.dag,
+                            task,
+                            cfg,
+                            ExecutionMode::FineGrained(FineGrainedConfig::with_threads(THREADS)),
+                        )
+                    })
+                },
+            );
+            let mut engine = Engine::builder(&prepared.archive, &prepared.dag)
+                .threads(THREADS)
+                .build()
+                .expect("valid bench engine");
+            // Prime the cache outside the measured loop.
+            engine.run(task, cfg).expect("valid bench task");
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm_session/{}", task.name()), dataset.label()),
+                &prepared,
+                |b, _| b.iter(|| engine.run(task, cfg).expect("valid bench task")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_session_amortization);
 criterion_main!(benches);

@@ -22,6 +22,9 @@
 //!          --dataset <ids>  datasets for the `fine` bench, comma-separated
 //!                           (default A,B) — `--dataset B` re-baselines
 //!                           dataset B without re-running A
+//!          --warm           also run all six tasks on ONE shared Engine
+//!                           session and record cold vs warm init in the
+//!                           JSON (the session-amortization contract)
 //! ```
 //!
 //! The `fine` command validates every report's schema (all six tasks
@@ -37,6 +40,7 @@ fn main() {
     let mut threads = 4usize;
     let mut reps = 3u32;
     let mut out = "BENCH_fine_grained.json".to_string();
+    let mut warm = false;
     let mut datasets = vec![DatasetId::A, DatasetId::B];
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
@@ -107,6 +111,7 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--warm" => warm = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -130,7 +135,7 @@ fn main() {
             "traversal" => print!("{}", experiments::traversal_comparison(scale)),
             "uncompressed" => print!("{}", experiments::uncompressed_comparison(scale)),
             "ablation" => print!("{}", experiments::ablation(scale)),
-            "fine" => run_fine(scale, threads, reps, &out, &datasets),
+            "fine" => run_fine(scale, threads, reps, &out, &datasets, warm),
             "all" => {
                 println!("{}", experiments::table1());
                 println!("{}", experiments::table2(scale));
@@ -141,7 +146,7 @@ fn main() {
                 println!("{}", experiments::traversal_comparison(scale));
                 println!("{}", experiments::uncompressed_comparison(scale));
                 println!("{}", experiments::ablation(scale));
-                run_fine(scale, threads, reps, &out, &datasets);
+                run_fine(scale, threads, reps, &out, &datasets, warm);
             }
             other => {
                 eprintln!("unknown command: {other}");
@@ -157,10 +162,17 @@ fn main() {
 /// machine-readable JSON used to track the perf trajectory across PRs.
 /// Exits non-zero if any report fails schema validation (missing task, NaN
 /// or non-positive speedup) — the `bench-smoke` CI contract.
-fn run_fine(scale: ExperimentScale, threads: usize, reps: u32, out: &str, datasets: &[DatasetId]) {
+fn run_fine(
+    scale: ExperimentScale,
+    threads: usize,
+    reps: u32,
+    out: &str,
+    datasets: &[DatasetId],
+    warm: bool,
+) {
     let mut reports = Vec::new();
     for &id in datasets {
-        let report = experiments::fine_grained_report(id, scale, threads, reps);
+        let report = experiments::fine_grained_report(id, scale, threads, reps, warm);
         print!("{}", report.render());
         println!();
         reports.push(report);
@@ -188,7 +200,7 @@ fn run_fine(scale: ExperimentScale, threads: usize, reps: u32, out: &str, datase
 fn print_usage() {
     println!(
         "usage: experiments [--scale <f>] [--threads <n>] [--reps <n>] [--out <path>] \
-         [--dataset <A,B,...>] \
+         [--dataset <A,B,...>] [--warm] \
          <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|fine|all>..."
     );
 }

@@ -10,7 +10,7 @@ use gtadoc::traversal::TraversalStrategy;
 use sequitur::{ArchiveStats, Dag, TadocArchive};
 use tadoc::apps::{run_task, Task, TaskConfig};
 use tadoc::cost::{ClusterSpec, CpuSpec};
-use tadoc::fine_grained::{run_task_with_mode, ExecutionMode, FineGrainedConfig};
+use tadoc::fine_grained::{run_task_with_mode, Engine, ExecutionMode, FineGrainedConfig};
 use tadoc::parallel::ParallelConfig;
 use uncompressed::gpu::run_gpu_uncompressed;
 
@@ -521,6 +521,38 @@ impl ModeCell {
     }
 }
 
+/// Cold-vs-warm init timings of one task on a shared [`Engine`] session.
+///
+/// All six tasks run on **one** engine in paper order: the first task's cold
+/// run also pays for artifacts later tasks share (DAG levels, weights), so a
+/// later task's `cold_init_ns` covers only what no earlier task had already
+/// cached — exactly the amortization a serving deployment sees.
+#[derive(Debug, Clone)]
+pub struct WarmCell {
+    /// The task measured.
+    pub task: Task,
+    /// Init-phase nanoseconds of the task's first (cold) run on the session.
+    pub cold_init_ns: u64,
+    /// Total (init + traversal) nanoseconds of the cold run.
+    pub cold_total_ns: u64,
+    /// Fastest init-phase nanoseconds over the warm repetitions.
+    pub warm_init_ns: u64,
+    /// Fastest total nanoseconds over the warm repetitions.
+    pub warm_total_ns: u64,
+}
+
+impl WarmCell {
+    /// How much the warm init phase shrank versus the cold one.
+    pub fn init_speedup(&self) -> f64 {
+        self.cold_init_ns as f64 / self.warm_init_ns.max(1) as f64
+    }
+
+    /// End-to-end warm-vs-cold speedup.
+    pub fn total_speedup(&self) -> f64 {
+        self.cold_total_ns as f64 / self.warm_total_ns.max(1) as f64
+    }
+}
+
 /// The fine-grained benchmark for one dataset: all six tasks under all three
 /// execution modes, on real threads and real wall clocks (no cost model).
 #[derive(Debug, Clone)]
@@ -544,6 +576,9 @@ pub struct FineGrainedReport {
     pub chunk_elements: usize,
     /// One row per task.
     pub cells: Vec<ModeCell>,
+    /// Cold-vs-warm session measurements (`--warm`); `None` when the warm
+    /// pass was not requested.
+    pub warm: Option<Vec<WarmCell>>,
 }
 
 impl FineGrainedReport {
@@ -579,6 +614,39 @@ impl FineGrainedReport {
                 }
             }
         }
+        if let Some(warm) = &self.warm {
+            for task in Task::ALL {
+                match warm.iter().filter(|c| c.task == task).count() {
+                    1 => {}
+                    n => problems.push(format!(
+                        "dataset {}: warm cell for task {} appears {n} times (expected 1)",
+                        self.dataset,
+                        task.name()
+                    )),
+                }
+            }
+            for cell in warm {
+                if cell.cold_total_ns == 0 || cell.warm_total_ns == 0 {
+                    problems.push(format!(
+                        "dataset {}: warm cell for task {} has a zero total",
+                        self.dataset,
+                        cell.task.name()
+                    ));
+                }
+                for (label, value) in [
+                    ("warm_init", cell.init_speedup()),
+                    ("warm_total", cell.total_speedup()),
+                ] {
+                    if !value.is_finite() || value <= 0.0 {
+                        problems.push(format!(
+                            "dataset {}: task {} has invalid {label} speedup {value}",
+                            self.dataset,
+                            cell.task.name()
+                        ));
+                    }
+                }
+            }
+        }
         problems
     }
 }
@@ -604,12 +672,67 @@ fn min_ns<R, F: FnMut() -> R>(reps: u32, mut run: F) -> u64 {
     best
 }
 
-/// Measures one dataset under the three execution modes.
+/// Measures cold vs warm init on one shared [`Engine`] session: each task's
+/// first run is its cold observation, the fastest of `reps` repeats is its
+/// warm one.  Every output is digest-checked against the sequential
+/// reference, and every repeat must actually report
+/// [`warm`](tadoc::timing::PhaseTimings::warm) — a cache miss on a repeat is
+/// a bug, not noise, so it panics.
+fn measure_warm_session(
+    archive: &TadocArchive,
+    dag: &Dag,
+    threads: usize,
+    reps: u32,
+) -> Vec<WarmCell> {
+    let cfg = TaskConfig::default();
+    let mut engine = Engine::builder(archive, dag)
+        .threads(threads)
+        .build()
+        .expect("bench engine configuration is valid");
+    let mut cells = Vec::new();
+    for task in Task::ALL {
+        let reference = run_task(archive, dag, task, cfg).output.digest();
+        let cold = engine.run(task, cfg).expect("valid bench task config");
+        assert_eq!(
+            cold.output.digest(),
+            reference,
+            "{} session output diverges from sequential",
+            task.name()
+        );
+        let cold_init_ns = cold.timings.init.as_nanos() as u64;
+        let cold_total_ns = cold.timings.total().as_nanos() as u64;
+        let mut warm_init_ns = u64::MAX;
+        let mut warm_total_ns = u64::MAX;
+        for _ in 0..reps.max(1) {
+            let warm = engine.run(task, cfg).expect("valid bench task config");
+            assert!(
+                warm.timings.warm,
+                "{} repeat run missed the session cache",
+                task.name()
+            );
+            let result = std::hint::black_box(warm);
+            warm_init_ns = warm_init_ns.min(result.timings.init.as_nanos() as u64);
+            warm_total_ns = warm_total_ns.min(result.timings.total().as_nanos() as u64);
+        }
+        cells.push(WarmCell {
+            task,
+            cold_init_ns,
+            cold_total_ns,
+            warm_init_ns,
+            warm_total_ns,
+        });
+    }
+    cells
+}
+
+/// Measures one dataset under the three execution modes; `warm` adds the
+/// shared-session cold-vs-warm pass ([`WarmCell`]).
 pub fn fine_grained_report(
     id: DatasetId,
     scale: ExperimentScale,
     threads: usize,
     reps: u32,
+    warm: bool,
 ) -> FineGrainedReport {
     let prepared = prepare_dataset(id, scale);
     let cfg = TaskConfig::default();
@@ -648,6 +771,8 @@ pub fn fine_grained_report(
         });
     }
 
+    let warm_cells = warm.then(|| measure_warm_session(archive, dag, threads, reps));
+
     FineGrainedReport {
         dataset: id.label().to_string(),
         scale: scale.0,
@@ -657,6 +782,7 @@ pub fn fine_grained_report(
         reps,
         chunk_elements: fine_cfg.chunk_elements,
         cells,
+        warm: warm_cells,
     }
 }
 
@@ -682,6 +808,25 @@ impl FineGrainedReport {
                 c.speedup_vs_coarse()
             ));
         }
+        if let Some(warm) = &self.warm {
+            out.push_str(
+                "\nSHARED ENGINE SESSION (one engine, six tasks in order, then warm repeats)\n",
+            );
+            out.push_str(
+                "task                    cold init(ms)   warm init(ms)  init speedup  cold total(ms)  warm total(ms)\n",
+            );
+            for c in warm {
+                out.push_str(&format!(
+                    "{:<23} {:<15.3} {:<14.3} {:<13.2} {:<15.3} {:.3}\n",
+                    c.task.name(),
+                    c.cold_init_ns as f64 / 1e6,
+                    c.warm_init_ns as f64 / 1e6,
+                    c.init_speedup(),
+                    c.cold_total_ns as f64 / 1e6,
+                    c.warm_total_ns as f64 / 1e6,
+                ));
+            }
+        }
         out
     }
 }
@@ -700,6 +845,12 @@ pub const BENCH_NOTES: &[&str] = &[
      four huge files any further, so it degenerates to near-sequential with \
      partition overhead.  Re-baseline B alone with `experiments -- fine \
      --dataset B --out BENCH_B.json` instead of re-running both datasets.",
+    "The `warm` block (from `--warm`) runs all six tasks in order on ONE \
+     shared Engine session: each task's first run is its cold observation \
+     (it only computes artifacts no earlier task already cached — wordCount \
+     pays for the DAG levels and rule weights, sequenceCount then only for \
+     its head/tail buffers), and warm_*_ns is the fastest of `reps` repeat \
+     runs served entirely from the session cache.",
 ];
 
 /// Renders a list of fine-grained reports as the machine-readable JSON the
@@ -732,8 +883,26 @@ pub fn fine_grained_json(reports: &[FineGrainedReport]) -> String {
                 if j + 1 == r.cells.len() { "" } else { "," }
             ));
         }
+        out.push_str("      ]");
+        if let Some(warm) = &r.warm {
+            out.push_str(",\n      \"warm\": [\n");
+            for (j, c) in warm.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"task\": \"{}\", \"cold_init_ns\": {}, \"warm_init_ns\": {}, \"speedup_warm_init\": {:.3}, \"cold_total_ns\": {}, \"warm_total_ns\": {}, \"speedup_warm_total\": {:.3}}}{}\n",
+                    c.task.name(),
+                    c.cold_init_ns,
+                    c.warm_init_ns,
+                    c.init_speedup(),
+                    c.cold_total_ns,
+                    c.warm_total_ns,
+                    c.total_speedup(),
+                    if j + 1 == warm.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("      ]");
+        }
         out.push_str(&format!(
-            "      ]\n    }}{}\n",
+            "\n    }}{}\n",
             if i + 1 == reports.len() { "" } else { "," }
         ));
     }

@@ -71,6 +71,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (InvertedIndexResult, PhaseTimi
             traversal,
             init_work,
             traversal_work: trav_work,
+            ..Default::default()
         },
     )
 }

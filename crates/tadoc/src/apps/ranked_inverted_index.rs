@@ -67,6 +67,7 @@ pub fn run(
             traversal,
             init_work,
             traversal_work: trav_work,
+            ..Default::default()
         },
     )
 }

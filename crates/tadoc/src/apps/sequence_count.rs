@@ -59,6 +59,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag, l: usize) -> (SequenceCountResult,
             traversal,
             init_work,
             traversal_work: trav_work,
+            ..Default::default()
         },
     )
 }

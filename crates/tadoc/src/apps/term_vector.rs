@@ -69,6 +69,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (TermVectorResult, PhaseTimings
             traversal,
             init_work,
             traversal_work: trav_work,
+            ..Default::default()
         },
     )
 }

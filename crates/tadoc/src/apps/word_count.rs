@@ -63,6 +63,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (WordCountResult, PhaseTimings)
             traversal,
             init_work,
             traversal_work: trav_work,
+            ..Default::default()
         },
     )
 }

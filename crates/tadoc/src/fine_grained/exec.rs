@@ -508,6 +508,67 @@ pub fn chunk_ranges<I: IntoIterator<Item = usize>>(lens: I, target: usize) -> Ve
     out
 }
 
+/// Disjoint-index shared access to a slice during a level-synchronized
+/// traversal.
+///
+/// The level traversals write one result slot per rule: within a level every
+/// worker writes a *different* index, and every index a worker reads (a
+/// child's or parent's slot) was written in an **earlier epoch**, whose
+/// barrier ([`WorkerPool::run`] returning) ordered those writes before this
+/// level's reads.  Earlier revisions funnelled the per-level results through
+/// a `Mutex<Vec<_>>` and scattered them after the barrier; that lock (and
+/// the extra copy) is pure overhead when the index space already partitions
+/// the writes.  `DisjointSlots` erases the slice into `UnsafeCell`s so
+/// workers can write their own slots and read other levels' slots directly,
+/// with the two safety obligations spelled out on [`set`](Self::set) and
+/// [`get`](Self::get).
+pub(crate) struct DisjointSlots<'a, T> {
+    cells: &'a [std::cell::UnsafeCell<T>],
+}
+
+// SAFETY: sharing `DisjointSlots` across workers hands out raw slot access
+// gated by the unsafe `get`/`set` contract below.  `T: Send` makes values
+// sound to produce and drop on any thread; `T: Sync` is required because
+// `get` legitimately yields shared `&T` to the *same* slot from several
+// workers at once (two rules of one level reading a common parent/child).
+unsafe impl<T: Send + Sync> Sync for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    /// Wraps an exclusively borrowed slice.  The `&mut` guarantees no other
+    /// access path exists for the wrapper's lifetime.
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`, so the
+        // slice layouts match; the exclusive borrow is surrendered to the
+        // wrapper for `'a`.
+        let cells = unsafe { &*(slice as *mut [T] as *const [std::cell::UnsafeCell<T>]) };
+        Self { cells }
+    }
+
+    /// Reads slot `i`.
+    ///
+    /// # Safety
+    /// Either no worker writes slot `i` during the current epoch — the slot
+    /// was finished before the epoch started (a previous level, or the
+    /// sequential seeding before the traversal), with the epoch barrier
+    /// making that write visible — or the caller *is* the slot's unique
+    /// writer this epoch reading its own slot before overwriting it (its
+    /// accesses are sequenced; mirrors the carve-out on [`set`](Self::set)).
+    pub(crate) unsafe fn get(&self, i: usize) -> &T {
+        &*self.cells[i].get()
+    }
+
+    /// Writes slot `i`, dropping the previous value.
+    ///
+    /// # Safety
+    /// Index `i` must be written by at most one worker per epoch, and no
+    /// *other* worker may read slot `i` during the current epoch (readers
+    /// of `i` belong to later levels; the writing worker may read its own
+    /// slot before overwriting it, since its accesses are sequenced).
+    pub(crate) unsafe fn set(&self, i: usize, value: T) {
+        *self.cells[i].get() = value;
+    }
+}
+
 /// The hash shard (in `0..shards`) a 64-bit key belongs to during the global
 /// merge: each merge worker owns one shard, so no two workers ever touch the
 /// same key — the merge needs no locks.

@@ -10,11 +10,18 @@
 //! barrier between layers (the epoch barrier of
 //! [`WorkerPool::for_range`](super::exec::WorkerPool::for_range)) is exactly
 //! the level-synchronized schedule of the paper.
+//!
+//! Assembly is **lock-free**: each worker writes its rules' buffers straight
+//! into the per-rule slots (`DisjointSlots` in `exec`) — within a level every worker
+//! owns disjoint rule ids, and the child buffers it reads were finished in an
+//! earlier epoch, so no synchronization beyond the level barrier is needed.
+//! (Earlier revisions collected per-level results through a `Mutex<Vec<_>>`,
+//! which serialized the assembly tail of every level.)
 
-use super::exec::WorkerPool;
+use super::exec::{DisjointSlots, WorkerPool};
 use crate::timing::WorkStats;
 use sequitur::{Dag, Grammar, Symbol};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-rule head/tail buffers (CPU twin of the simulator's `HeadTail`).
 #[derive(Debug, Clone)]
@@ -51,13 +58,19 @@ pub fn levels_top_down(dag: &Dag) -> Vec<Vec<u32>> {
 
 /// One rule's buffers, assembled from its own words and its (already
 /// finished) sub-rules' buffers — the body of `initHeadTailKernel`.
-fn assemble_rule(
+///
+/// # Safety
+/// Every `Symbol::Rule(c)` in `body` must refer to a slot finished in an
+/// earlier epoch (guaranteed by the bottom-up level schedule: children live
+/// in strictly deeper layers), and no worker may be writing those slots in
+/// the current epoch.
+unsafe fn assemble_rule(
     body: &[Symbol],
     expanded: u64,
     keep: usize,
-    head: &[Vec<u32>],
-    tail: &[Vec<u32>],
-    short_expansion: &[Option<Vec<u32>>],
+    head: &DisjointSlots<'_, Vec<u32>>,
+    tail: &DisjointSlots<'_, Vec<u32>>,
+    short_expansion: &DisjointSlots<'_, Option<Vec<u32>>>,
 ) -> (Vec<u32>, Vec<u32>, Option<Vec<u32>>) {
     let is_short = expanded <= 2 * keep as u64;
     let want = if is_short { expanded as usize } else { keep };
@@ -71,9 +84,11 @@ fn assemble_rule(
         match *sym {
             Symbol::Word(w) => h.push(w),
             Symbol::Rule(c) => {
-                let source: &[u32] = match &short_expansion[c as usize] {
+                // SAFETY: `c` is a child, finished in an earlier epoch (see
+                // the function-level contract).
+                let source: &[u32] = match short_expansion.get(c as usize) {
                     Some(full) => full,
-                    None => &head[c as usize],
+                    None => head.get(c as usize),
                 };
                 for &w in source {
                     h.push(w);
@@ -95,9 +110,10 @@ fn assemble_rule(
         match *sym {
             Symbol::Word(w) => t_rev.push(w),
             Symbol::Rule(c) => {
-                let source: &[u32] = match &short_expansion[c as usize] {
+                // SAFETY: as above — `c`'s buffers are final.
+                let source: &[u32] = match short_expansion.get(c as usize) {
                     Some(full) => full,
-                    None => &tail[c as usize],
+                    None => tail.get(c as usize),
                 };
                 for &w in source.iter().rev() {
                     t_rev.push(w);
@@ -123,9 +139,14 @@ fn assemble_rule(
 
 /// Builds the head/tail buffers with level-synchronized bottom-up
 /// parallelism, each level one epoch of the persistent worker pool.
+///
+/// `levels` must be the bottom-up level schedule of `dag`
+/// ([`levels_bottom_up`]); sessions pass their cached copy so repeated
+/// queries do not regroup the rules.
 pub fn build_head_tail(
     grammar: &Grammar,
     dag: &Dag,
+    levels: &[Vec<u32>],
     l: usize,
     pool: &WorkerPool,
     work: &mut WorkStats,
@@ -138,34 +159,41 @@ pub fn build_head_tail(
     let mut tail: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut short_expansion: Vec<Option<Vec<u32>>> = vec![None; n];
 
-    // (head, tail, short expansion) of one assembled rule.
-    type RuleBuffers = (Vec<u32>, Vec<u32>, Option<Vec<u32>>);
-    for level in levels_bottom_up(dag) {
-        // Everything this level reads (children's buffers) was written in a
-        // previous iteration; the level's own writes land after the barrier.
-        let results: Mutex<Vec<(u32, RuleBuffers)>> = Mutex::new(Vec::with_capacity(level.len()));
-        pool.for_range(level.len(), |i| {
-            let r = level[i];
-            let built = assemble_rule(
-                &grammar.rules[r as usize],
-                expanded[r as usize],
-                keep,
-                &head,
-                &tail,
-                &short_expansion,
-            );
-            results
-                .lock()
-                .expect("head/tail result mutex poisoned")
-                .push((r, built));
-        });
-        for (r, (h, t, s)) in results.into_inner().expect("head/tail result mutex poisoned") {
-            work.elements_scanned += dag.rule_lengths[r as usize] as u64;
-            work.bytes_moved += (h.len() + t.len()) as u64 * 4;
-            head[r as usize] = h;
-            tail[r as usize] = t;
-            short_expansion[r as usize] = s;
+    {
+        let head_slots = DisjointSlots::new(&mut head);
+        let tail_slots = DisjointSlots::new(&mut tail);
+        let short_slots = DisjointSlots::new(&mut short_expansion);
+        let scanned = AtomicU64::new(0);
+        let moved = AtomicU64::new(0);
+        for level in levels {
+            // Lock-free assembly: every worker writes only its own rules'
+            // slots; everything it reads (children's buffers) was written in
+            // a previous epoch, whose barrier ordered the writes.
+            pool.for_range(level.len(), |i| {
+                let r = level[i] as usize;
+                // SAFETY: rule ids within a level are unique, so slot `r` has
+                // exactly one writer this epoch; children live in strictly
+                // deeper layers, so every slot read was finished in an
+                // earlier epoch and has no writer now.
+                unsafe {
+                    let (h, t, s) = assemble_rule(
+                        &grammar.rules[r],
+                        expanded[r],
+                        keep,
+                        &head_slots,
+                        &tail_slots,
+                        &short_slots,
+                    );
+                    moved.fetch_add((h.len() + t.len()) as u64 * 4, Ordering::Relaxed);
+                    head_slots.set(r, h);
+                    tail_slots.set(r, t);
+                    short_slots.set(r, s);
+                }
+                scanned.fetch_add(dag.rule_lengths[r] as u64, Ordering::Relaxed);
+            });
         }
+        work.elements_scanned += scanned.into_inner();
+        work.bytes_moved += moved.into_inner();
     }
 
     HeadTail {
@@ -219,8 +247,10 @@ mod tests {
             for l in [1usize, 2, 3] {
                 let archive = compress_corpus(&sample_corpus(), CompressOptions::default());
                 let dag = Dag::from_grammar(&archive.grammar);
+                let levels = levels_bottom_up(&dag);
                 let mut work = WorkStats::default();
-                let ht = build_head_tail(&archive.grammar, &dag, l, &pool, &mut work);
+                let ht = build_head_tail(&archive.grammar, &dag, &levels, l, &pool, &mut work);
+                assert!(work.elements_scanned > 0, "work stats must be recorded");
                 let keep = l - 1;
                 for r in 1..dag.num_rules as u32 {
                     let full = archive.grammar.expand_rule_words(r);

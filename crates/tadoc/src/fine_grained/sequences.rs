@@ -454,7 +454,14 @@ mod tests {
         let archive = compress_corpus(corpus, CompressOptions::default());
         let dag = Dag::from_grammar(&archive.grammar);
         let mut work = WorkStats::default();
-        let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+        let ht = build_head_tail(
+                &archive.grammar,
+                &dag,
+                &super::super::head_tail::levels_bottom_up(&dag),
+                l,
+                &WorkerPool::new(1),
+                &mut work,
+            );
         let weights = rule_weights(&dag, &mut work);
 
         let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
@@ -557,7 +564,14 @@ mod tests {
         let dag = Dag::from_grammar(&archive.grammar);
         for l in [1usize, 2, 3, 4] {
             let mut work = WorkStats::default();
-            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            let ht = build_head_tail(
+                &archive.grammar,
+                &dag,
+                &super::super::head_tail::levels_bottom_up(&dag),
+                l,
+                &WorkerPool::new(1),
+                &mut work,
+            );
             for body in &archive.grammar.rules {
                 let stream = build_stream(body, &ht, 0, body.len());
                 let mut expected: Vec<(Vec<u32>, u32)> = Vec::new();
@@ -590,7 +604,14 @@ mod tests {
         let root = archive.grammar.root();
         for l in [2usize, 3, 4] {
             let mut work = WorkStats::default();
-            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            let ht = build_head_tail(
+                &archive.grammar,
+                &dag,
+                &super::super::head_tail::levels_bottom_up(&dag),
+                l,
+                &WorkerPool::new(1),
+                &mut work,
+            );
             let mut whole: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
             for chunk in root_chunks(&segments, usize::MAX) {
                 count_root_chunk(root, &ht, chunk, |words| {
@@ -622,7 +643,14 @@ mod tests {
         let dag = Dag::from_grammar(&archive.grammar);
         for l in [2usize, 3] {
             let mut work = WorkStats::default();
-            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            let ht = build_head_tail(
+                &archive.grammar,
+                &dag,
+                &super::super::head_tail::levels_bottom_up(&dag),
+                l,
+                &WorkerPool::new(1),
+                &mut work,
+            );
             for body in archive.grammar.rules.iter().skip(1) {
                 let mut whole: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
                 count_rule_local(body, &ht, |words, _| {
@@ -656,7 +684,14 @@ mod tests {
         let segments = file_segments(&archive.grammar);
         for l in [2usize, 3] {
             let mut work = WorkStats::default();
-            let ht = build_head_tail(&archive.grammar, &dag, l, &WorkerPool::new(1), &mut work);
+            let ht = build_head_tail(
+                &archive.grammar,
+                &dag,
+                &super::super::head_tail::levels_bottom_up(&dag),
+                l,
+                &WorkerPool::new(1),
+                &mut work,
+            );
             let mut whole: FxHashMap<(u32, Vec<u32>), u64> = FxHashMap::default();
             for chunk in root_chunks(&segments, usize::MAX) {
                 count_root_chunk(archive.grammar.root(), &ht, chunk, |words| {

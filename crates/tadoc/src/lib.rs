@@ -35,7 +35,8 @@ pub mod weights;
 
 pub use apps::{run_task, Task, TaskConfig};
 pub use fine_grained::{
-    run_task_fine_grained, run_task_with_mode, ExecutionMode, FineGrainedConfig,
+    run_task_fine_grained, run_task_with_mode, ConfigError, Engine, EngineBuilder, ExecutionMode,
+    FineGrainedConfig, TaskSpec,
 };
 pub use results::{
     AnalyticsOutput, InvertedIndexResult, RankedInvertedIndexResult, SequenceCountResult,

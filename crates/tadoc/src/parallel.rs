@@ -106,6 +106,7 @@ pub fn run_task_parallel(
             traversal,
             init_work,
             traversal_work,
+            ..Default::default()
         },
     }
 }

@@ -52,6 +52,20 @@ pub struct PhaseTimings {
     pub init_work: WorkStats,
     /// Work performed during traversal.
     pub traversal_work: WorkStats,
+    /// Portion of `init` spent *computing* shared session artifacts (DAG
+    /// levels, rule/file weights, head/tail buffers, chunk lists, the
+    /// term-vector CSR).  On a cold [`Engine`](crate::fine_grained::Engine)
+    /// run this is most of `init`; on a warm run every artifact is served
+    /// from the session cache and this is [`Duration::ZERO`].  The one-shot
+    /// wrapper (`run_task_fine_grained`) never reuses anything, so it pays
+    /// this on every call; the sequential and coarse paths do not break out
+    /// a shared portion and leave it zero.
+    pub shared_init: Duration,
+    /// `true` when every shared artifact the task needed was served from a
+    /// warm session cache (nothing was computed this run).  Always `false`
+    /// for one-shot runs and for the sequential/coarse modes, which cache
+    /// nothing.
+    pub warm: bool,
 }
 
 impl PhaseTimings {

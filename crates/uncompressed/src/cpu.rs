@@ -57,6 +57,7 @@ pub fn run_cpu_uncompressed(
             traversal,
             init_work,
             traversal_work,
+            ..Default::default()
         },
     )
 }
