@@ -89,6 +89,72 @@
 
 pub mod shard;
 
+/// A violated capacity bound: the recoverable form of every sizing failure
+/// in this crate.
+///
+/// The `try_*` APIs ([`local_table::try_insert_add`],
+/// [`flat64::try_insert_add`], [`MemoryPool::try_from_requirements`],
+/// `try_words_required`) return it as a `Result`; the panicking wrappers
+/// raise it as a **typed panic payload** via [`std::panic::panic_any`], so a
+/// dispatcher that catches a worker's unwind can downcast the payload to
+/// `CapacityError` and classify the fault as recoverable capacity
+/// exhaustion rather than an arbitrary bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// Insert into a region the consumer sized for zero keys.
+    ZeroCapacity {
+        /// The key whose insert was rejected.
+        key: u32,
+    },
+    /// Wrapped-probe overflow: the table is full, the consumer's
+    /// distinct-key bound was violated.
+    TableOverflow {
+        /// The key whose insert was rejected.
+        key: u32,
+        /// Table capacity in slots.
+        capacity: u32,
+        /// Distinct keys already stored.
+        len: u32,
+    },
+    /// A pool or table region exceeds the 4G-word (`u32` offset) addressing
+    /// limit; the dataset must be sharded.
+    PoolTooLarge {
+        /// The requested size in `u32` words.
+        words: u64,
+    },
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityError::ZeroCapacity { key } => write!(
+                f,
+                "insert into zero-capacity table (key {key}): the consumer \
+                 sized this region for 0 keys"
+            ),
+            CapacityError::TableOverflow { key, capacity, len } => write!(
+                f,
+                "table overflow inserting key {key}: capacity {capacity} slots, \
+                 {len} keys stored (the consumer's distinct-key bound was violated)"
+            ),
+            CapacityError::PoolTooLarge { words } => write!(
+                f,
+                "allocation of {words} words exceeds the 4G-word pool limit; \
+                 shard the dataset"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Raises `err` as a typed panic payload (downcastable to [`CapacityError`]).
+#[inline(never)]
+#[cold]
+fn raise_capacity(err: CapacityError) -> ! {
+    std::panic::panic_any(err)
+}
+
 /// SplitMix64 finalizer: a full-avalanche mix so that *every* output bit used
 /// for group selection and control tags depends on every input bit.  (A bare
 /// multiplicative hash leaves the low bits a function of only the low input
@@ -134,8 +200,17 @@ impl MemoryPool {
     /// bump (prefix-sum) allocation.
     ///
     /// # Panics
-    /// Panics if the total exceeds `u32::MAX` words (shard the dataset).
+    /// Panics (with a [`CapacityError::PoolTooLarge`] payload) if the total
+    /// exceeds `u32::MAX` words; [`MemoryPool::try_from_requirements`] is
+    /// the recoverable form.
     pub fn from_requirements(requirements: &[u32]) -> Self {
+        Self::try_from_requirements(requirements).unwrap_or_else(|e| raise_capacity(e))
+    }
+
+    /// Fallible form of [`MemoryPool::from_requirements`]: returns
+    /// [`CapacityError::PoolTooLarge`] instead of panicking when the total
+    /// exceeds the 4G-word addressing limit.
+    pub fn try_from_requirements(requirements: &[u32]) -> Result<Self, CapacityError> {
         let mut regions = Vec::with_capacity(requirements.len());
         let mut offset: u64 = 0;
         for &req in requirements {
@@ -145,14 +220,13 @@ impl MemoryPool {
             });
             offset += req as u64;
         }
-        assert!(
-            offset <= u32::MAX as u64,
-            "memory pool exceeds 4G words; shard the dataset"
-        );
-        Self {
+        if offset > u32::MAX as u64 {
+            return Err(CapacityError::PoolTooLarge { words: offset });
+        }
+        Ok(Self {
             storage: vec![0u32; offset as usize],
             regions,
-        }
+        })
     }
 
     /// Number of consumers (regions).
@@ -345,18 +419,26 @@ mod table_core {
     /// Region length (in `u32` words) for a table holding `max_keys`
     /// distinct keys.  `words_required(0) == 0` — see the sizing contract.
     pub fn words_required<const VW: usize>(max_keys: u32) -> u32 {
+        try_words_required::<VW>(max_keys).unwrap_or_else(|e| super::raise_capacity(e))
+    }
+
+    /// Fallible form of [`words_required`]: a table whose region would
+    /// exceed the 4G-word addressing limit is a
+    /// [`CapacityError::PoolTooLarge`](super::CapacityError) instead of a
+    /// panic.  (A real check, not a debug one: silently truncating here
+    /// would surface later as a bogus "bound violated" overflow panic.)
+    pub fn try_words_required<const VW: usize>(
+        max_keys: u32,
+    ) -> Result<u32, super::CapacityError> {
         let slots = slots_for(max_keys);
         if slots == 0 {
-            return 0;
+            return Ok(0);
         }
         let words = HEADER_WORDS as u64 + slots / 4 + slots * (1 + VW as u64);
-        // A real assert, not a debug_assert: silently truncating here would
-        // surface later as a bogus "bound violated" overflow panic.
-        assert!(
-            words <= u32::MAX as u64,
-            "table for {max_keys} keys exceeds 4G words; shard the dataset"
-        );
-        words as u32
+        if words > u32::MAX as u64 {
+            return Err(super::CapacityError::PoolTooLarge { words });
+        }
+        Ok(words as u32)
     }
 
     /// Initialises a region as an empty table, deriving the capacity from
@@ -441,14 +523,36 @@ mod table_core {
     /// of the slot's value area and whether the slot is fresh.
     ///
     /// # Panics
-    /// Panics on zero capacity, and when the probe wraps the whole table
-    /// (table full) — both mean the consumer's sizing bound was violated.
+    /// Panics (payload downcastable to
+    /// [`CapacityError`](super::CapacityError)) on zero capacity, and when
+    /// the probe wraps the whole table (table full) — both mean the
+    /// consumer's sizing bound was violated.  [`try_find_or_insert`] is the
+    /// recoverable form.
     pub fn find_or_insert<const VW: usize>(region: &mut [u32], key: u32) -> (usize, bool) {
+        try_find_or_insert::<VW>(region, key).unwrap_or_else(|e| super::raise_capacity(e))
+    }
+
+    /// Fallible form of [`find_or_insert`]: capacity exhaustion is an `Err`
+    /// instead of a panic, so the fine-grained engine can degrade a query
+    /// rather than abort it.
+    pub fn try_find_or_insert<const VW: usize>(
+        region: &mut [u32],
+        key: u32,
+    ) -> Result<(usize, bool), super::CapacityError> {
         let cap = capacity(region) as usize;
-        assert!(
-            cap > 0,
-            "insert into zero-capacity table (key {key}): the consumer sized this region for 0 keys"
+        // Fault-injection site: a simulated capacity exhaustion on the next
+        // reserve, without having to actually fill a table.
+        failpoints::fail_point!(
+            "arena-reserve",
+            return Err(super::CapacityError::TableOverflow {
+                key,
+                capacity: cap as u32,
+                len: len(region),
+            })
         );
+        if cap == 0 {
+            return Err(super::CapacityError::ZeroCapacity { key });
+        }
         let num_groups = (cap / probe::GROUP) as u32;
         let hash = super::mix64(key as u64);
         let tag = probe::tag_of(hash);
@@ -462,7 +566,7 @@ mod table_core {
             while eq != 0 {
                 let slot = g * probe::GROUP + eq.trailing_zeros() as usize;
                 if keys[slot] == key {
-                    return (value_base::<VW>(cap, slot), false);
+                    return Ok((value_base::<VW>(cap, slot), false));
                 }
                 eq &= eq - 1;
             }
@@ -472,18 +576,18 @@ mod table_core {
                 probe::set_tag(tags, slot, tag);
                 keys[slot] = key;
                 region[1] += 1;
-                return (value_base::<VW>(cap, slot), true);
+                return Ok((value_base::<VW>(cap, slot), true));
             }
             g += 1;
             if g == num_groups as usize {
                 g = 0;
             }
         }
-        panic!(
-            "table overflow inserting key {key}: capacity {cap} slots, {} keys stored \
-             (the consumer's distinct-key bound was violated)",
-            len(region)
-        );
+        Err(super::CapacityError::TableOverflow {
+            key,
+            capacity: cap as u32,
+            len: len(region),
+        })
     }
 
     /// Finds `key`'s slot without inserting.  Returns the word index of the
@@ -563,6 +667,12 @@ pub mod local_table {
         table_core::words_required::<VW>(max_keys)
     }
 
+    /// Fallible form of [`words_required`]: an over-4G-words table is a
+    /// [`CapacityError`](super::CapacityError) instead of a panic.
+    pub fn try_words_required(max_keys: u32) -> Result<u32, super::CapacityError> {
+        table_core::try_words_required::<VW>(max_keys)
+    }
+
     /// Initialises a region as an empty table (no-op on zero-length
     /// regions).
     pub fn init(region: &mut [u32]) {
@@ -578,9 +688,12 @@ pub mod local_table {
     /// Adds `count` to `key`'s entry (inserting it if absent).
     ///
     /// # Panics
-    /// Panics if the table has zero capacity or is full — the bounds
-    /// computed during the initialization phase (`genLocTblBoundKernel`)
-    /// guarantee this cannot happen for well-formed inputs.
+    /// Panics (payload downcastable to [`CapacityError`](super::CapacityError))
+    /// if the table has zero capacity or is full — the bounds computed
+    /// during the initialization phase (`genLocTblBoundKernel`) guarantee
+    /// this cannot happen for well-formed inputs.  The simulated-GPU
+    /// kernels keep this thin wrapper; recoverable consumers use
+    /// [`try_insert_add`].
     pub fn insert_add(region: &mut [u32], key: u32, count: u32) {
         let (base, fresh) = table_core::find_or_insert::<VW>(region, key);
         if fresh {
@@ -588,6 +701,22 @@ pub mod local_table {
         } else {
             region[base] += count;
         }
+    }
+
+    /// Fallible form of [`insert_add`]: a violated capacity bound is a
+    /// [`CapacityError`](super::CapacityError) instead of a panic.
+    pub fn try_insert_add(
+        region: &mut [u32],
+        key: u32,
+        count: u32,
+    ) -> Result<(), super::CapacityError> {
+        let (base, fresh) = table_core::try_find_or_insert::<VW>(region, key)?;
+        if fresh {
+            region[base] = count;
+        } else {
+            region[base] += count;
+        }
+        Ok(())
     }
 
     /// Number of distinct keys stored.
@@ -625,6 +754,12 @@ pub mod flat64 {
         table_core::words_required::<VW>(max_keys)
     }
 
+    /// Fallible form of [`words_required`]: an over-4G-words table is a
+    /// [`CapacityError`](super::CapacityError) instead of a panic.
+    pub fn try_words_required(max_keys: u32) -> Result<u32, super::CapacityError> {
+        table_core::try_words_required::<VW>(max_keys)
+    }
+
     /// Initialises a region as an empty table (no-op on zero-length
     /// regions).
     pub fn init(region: &mut [u32]) {
@@ -660,8 +795,10 @@ pub mod flat64 {
     /// Adds `count` to `key`'s entry (inserting it if absent).
     ///
     /// # Panics
-    /// Panics if the table has zero capacity or is full — capacity bounds
-    /// are computed during the initialization phase exactly as on the GPU.
+    /// Panics (payload downcastable to [`CapacityError`](super::CapacityError))
+    /// if the table has zero capacity or is full — capacity bounds are
+    /// computed during the initialization phase exactly as on the GPU.
+    /// Recoverable consumers use [`try_insert_add`].
     pub fn insert_add(region: &mut [u32], key: u32, count: u64) {
         let (base, fresh) = table_core::find_or_insert::<VW>(region, key);
         let value = if fresh {
@@ -670,6 +807,23 @@ pub mod flat64 {
             read_value(region, base) + count
         };
         write_value(region, base, value);
+    }
+
+    /// Fallible form of [`insert_add`]: a violated capacity bound is a
+    /// [`CapacityError`](super::CapacityError) instead of a panic.
+    pub fn try_insert_add(
+        region: &mut [u32],
+        key: u32,
+        count: u64,
+    ) -> Result<(), super::CapacityError> {
+        let (base, fresh) = table_core::try_find_or_insert::<VW>(region, key)?;
+        let value = if fresh {
+            count
+        } else {
+            read_value(region, base) + count
+        };
+        write_value(region, base, value);
+        Ok(())
     }
 
     /// Number of distinct keys stored.
@@ -816,20 +970,91 @@ mod tests {
         assert_eq!(flat64::get(&region, 7), None);
     }
 
-    #[test]
-    #[should_panic(expected = "zero-capacity table")]
-    fn local_table_zero_capacity_insert_panics_clearly() {
-        let mut region: Vec<u32> = Vec::new();
-        local_table::init(&mut region);
-        local_table::insert_add(&mut region, 1, 1);
+    /// Extracts the typed capacity payload from a caught panic.
+    fn capacity_payload(err: Box<dyn std::any::Any + Send>) -> CapacityError {
+        *err.downcast::<CapacityError>()
+            .expect("capacity panics carry a CapacityError payload")
     }
 
     #[test]
-    #[should_panic(expected = "zero-capacity table")]
-    fn flat64_zero_capacity_insert_panics_clearly() {
-        let mut region: Vec<u32> = Vec::new();
+    fn local_table_zero_capacity_insert_panics_with_typed_payload() {
+        let err = std::panic::catch_unwind(|| {
+            let mut region: Vec<u32> = Vec::new();
+            local_table::init(&mut region);
+            local_table::insert_add(&mut region, 1, 1);
+        })
+        .expect_err("zero-capacity insert must panic");
+        let err = capacity_payload(err);
+        assert_eq!(err, CapacityError::ZeroCapacity { key: 1 });
+        assert!(err.to_string().contains("zero-capacity table"));
+    }
+
+    #[test]
+    fn flat64_zero_capacity_insert_panics_with_typed_payload() {
+        let err = std::panic::catch_unwind(|| {
+            let mut region: Vec<u32> = Vec::new();
+            flat64::init(&mut region);
+            flat64::insert_add(&mut region, 1, 1);
+        })
+        .expect_err("zero-capacity insert must panic");
+        assert_eq!(capacity_payload(err), CapacityError::ZeroCapacity { key: 1 });
+    }
+
+    #[test]
+    fn try_insert_add_reports_capacity_errors_without_panicking() {
+        let mut empty: Vec<u32> = Vec::new();
+        local_table::init(&mut empty);
+        assert_eq!(
+            local_table::try_insert_add(&mut empty, 9, 1),
+            Err(CapacityError::ZeroCapacity { key: 9 })
+        );
+        flat64::init(&mut empty);
+        assert_eq!(
+            flat64::try_insert_add(&mut empty, 9, 1),
+            Err(CapacityError::ZeroCapacity { key: 9 })
+        );
+
+        // Overfill: the wrapped probe reports a typed overflow.
+        let mut region = vec![0u32; flat64::words_required(8) as usize];
         flat64::init(&mut region);
-        flat64::insert_add(&mut region, 1, 1);
+        let cap = region[0];
+        for k in 0..cap {
+            flat64::try_insert_add(&mut region, k * 31 + 7, 1).expect("within capacity");
+        }
+        let err = flat64::try_insert_add(&mut region, cap * 31 + 7, 1)
+            .expect_err("one past capacity must overflow");
+        assert_eq!(
+            err,
+            CapacityError::TableOverflow {
+                key: cap * 31 + 7,
+                capacity: cap,
+                len: cap
+            }
+        );
+        // The fallible path must leave the table intact and readable.
+        assert_eq!(flat64::len(&region), cap);
+        assert_eq!(flat64::get(&region, 7), Some(1));
+    }
+
+    #[test]
+    fn try_from_requirements_rejects_over_4g_pools() {
+        let reqs = vec![u32::MAX, u32::MAX];
+        let err = MemoryPool::try_from_requirements(&reqs).expect_err("9G-word pool");
+        assert_eq!(
+            err,
+            CapacityError::PoolTooLarge {
+                words: 2 * u32::MAX as u64
+            }
+        );
+        assert!(err.to_string().contains("shard the dataset"));
+        assert!(matches!(
+            flat64::try_words_required(u32::MAX),
+            Err(CapacityError::PoolTooLarge { .. })
+        ));
+        assert!(matches!(
+            local_table::try_words_required(u32::MAX),
+            Err(CapacityError::PoolTooLarge { .. })
+        ));
     }
 
     /// Fills a table to its *entire* slot capacity (beyond the nominal 2×
@@ -854,25 +1079,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "table overflow")]
     fn local_table_overflow_panics_with_context() {
-        let mut region = vec![0u32; local_table::words_required(8) as usize];
-        local_table::init(&mut region);
-        let cap = region[0];
-        for k in 0..=cap {
-            local_table::insert_add(&mut region, k * 31 + 7, 1);
-        }
+        let err = std::panic::catch_unwind(|| {
+            let mut region = vec![0u32; local_table::words_required(8) as usize];
+            local_table::init(&mut region);
+            let cap = region[0];
+            for k in 0..=cap {
+                local_table::insert_add(&mut region, k * 31 + 7, 1);
+            }
+        })
+        .expect_err("overfilling must panic");
+        let err = capacity_payload(err);
+        assert!(matches!(err, CapacityError::TableOverflow { .. }));
+        assert!(err.to_string().contains("table overflow"));
     }
 
     #[test]
-    #[should_panic(expected = "table overflow")]
     fn flat64_overflow_panics_with_context() {
-        let mut region = vec![0u32; flat64::words_required(8) as usize];
-        flat64::init(&mut region);
-        let cap = region[0];
-        for k in 0..=cap {
-            flat64::insert_add(&mut region, k * 31 + 7, 1);
-        }
+        let err = std::panic::catch_unwind(|| {
+            let mut region = vec![0u32; flat64::words_required(8) as usize];
+            flat64::init(&mut region);
+            let cap = region[0];
+            for k in 0..=cap {
+                flat64::insert_add(&mut region, k * 31 + 7, 1);
+            }
+        })
+        .expect_err("overfilling must panic");
+        assert!(matches!(
+            capacity_payload(err),
+            CapacityError::TableOverflow { .. }
+        ));
     }
 
     #[test]

@@ -206,6 +206,10 @@ impl<T: ShardEntry> ShardBuf<T> {
     /// pieces, returning the shard's entries sorted by key with exactly one
     /// entry per distinct key (see the module docs for the full contract).
     pub fn merge(pieces: Vec<ShardBuf<T>>) -> Vec<T> {
+        // Fault-injection site: a worker panicking mid-merge-fold, the
+        // hardest point for a dispatcher to recover from (partial shard
+        // state on other workers).
+        failpoints::fail_point!("merge-fold");
         let mut out: Vec<T> = Vec::with_capacity(pieces.iter().map(ShardBuf::len).sum());
         for piece in pieces {
             out.extend(piece.entries);

@@ -12,6 +12,17 @@
 //! cargo run --release -p bench --bin experiments -- all --scale 0.3
 //! ```
 
+// Benchmarks measure the engine the users get; an engine with fault
+// injection compiled in is a different engine (registry lookups on every
+// chunk claim and merge fold).  Refuse to build rather than quietly measure
+// the instrumented one — CI's bench-smoke additionally string-scans the
+// release binary for failpoint payloads as a belt-and-braces check.
+#[cfg(feature = "failpoints")]
+compile_error!(
+    "the bench crate must never be built with fault injection armed: \
+     drop `--features failpoints` for measurement builds"
+);
+
 pub mod experiments;
 
 pub use experiments::{

@@ -30,7 +30,13 @@
 //! `--warm` mode of the experiments binary, which commits the measured
 //! amortization to `BENCH_fine_grained.json`.
 
-use super::exec::WorkerPool;
+// The session layer (this module and `exec`) is the error boundary of the
+// fine path: every fallible edge must either return a typed error or carry a
+// documented unreachability argument — bare `.unwrap()` is banned outright
+// (enforced by the CI `robustness-gate` clippy run).
+#![deny(clippy::unwrap_used)]
+
+use super::exec::{Abort, WorkerPool};
 use super::head_tail::{build_head_tail, levels_bottom_up, levels_top_down, HeadTail};
 use super::{
     build_term_vector_prep, parallel_file_weights, parallel_rule_weights, root_chunks,
@@ -39,11 +45,13 @@ use super::{
 };
 use crate::apps::{run_task, Task, TaskConfig, TaskExecution};
 use crate::parallel::{run_task_parallel, ParallelConfig};
-use crate::timing::{Timer, WorkStats};
+use crate::timing::{Degradation, Timer, WorkStats};
 use crate::weights::file_segments;
 use sequitur::fxhash::FxHashMap;
 use sequitur::{Dag, Grammar, TadocArchive};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Typed configuration errors
@@ -89,6 +97,163 @@ impl std::fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+// ---------------------------------------------------------------------------
+// Typed execution errors, cancellation, deadlines
+// ---------------------------------------------------------------------------
+
+/// A typed, recoverable failure of an [`Engine`] query (or a rejected
+/// [`EngineBuilder::build`]).  The failure model (see `ARCHITECTURE.md`,
+/// *Failure model & recovery*):
+///
+/// * A worker panic or arena capacity fault never escapes [`Engine::run`]
+///   as a panic.  The engine heals its pool if the fault poisoned it, then
+///   **degrades**: the query is retried once on the sequential path
+///   (oracle-identical by construction) and succeeds with
+///   [`PhaseTimings::degraded`](crate::timing::PhaseTimings::degraded) set.
+///   [`EngineError::WorkerPanicked`] / [`EngineError::ArenaCapacity`] are
+///   returned only when that fallback *also* fails — a double fault, which
+///   on identical input means the fault is input-shaped, not transient.
+/// * [`EngineError::Cancelled`] / [`EngineError::DeadlineExceeded`] are
+///   clean cooperative aborts: the session stays healthy, nothing is
+///   poisoned, and the next query runs normally.
+/// * [`EngineError::Config`] / [`EngineError::InvalidArchive`] are rejected
+///   before anything executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An invalid configuration knob (see [`ConfigError`]).
+    Config(ConfigError),
+    /// The archive/DAG failed structural validation at build time
+    /// (out-of-range rule references, cycles, an empty root, or a DAG that
+    /// was not derived from this grammar).
+    InvalidArchive {
+        /// What the validator found.
+        reason: String,
+    },
+    /// A worker panicked and the sequential fallback failed too.
+    WorkerPanicked {
+        /// The panic message of the original fine-grained fault.
+        message: String,
+    },
+    /// An arena capacity bound was violated and the sequential fallback
+    /// failed too.
+    ArenaCapacity {
+        /// The violated bound.
+        error: arena::CapacityError,
+    },
+    /// The query's deadline passed before it completed.  The session is
+    /// not poisoned; subsequent queries run normally.
+    DeadlineExceeded,
+    /// The query's [`CancelToken`] was triggered.  The session is not
+    /// poisoned; subsequent queries run normally.
+    Cancelled,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid configuration: {e}"),
+            EngineError::InvalidArchive { reason } => {
+                write!(f, "invalid archive: {reason}")
+            }
+            EngineError::WorkerPanicked { message } => write!(
+                f,
+                "worker panicked ({message}) and the sequential fallback failed"
+            ),
+            EngineError::ArenaCapacity { error } => write!(
+                f,
+                "arena capacity exhausted ({error}) and the sequential fallback failed"
+            ),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            EngineError::ArenaCapacity { error } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+/// A shared cancellation flag for cooperative query abort.
+///
+/// Clone the token, hand one clone to [`Engine::run_with`] via
+/// [`QueryOptions`], keep the other; calling [`cancel`](CancelToken::cancel)
+/// from any thread makes the running query stop at its next chunk boundary
+/// (or DAG level) and return [`EngineError::Cancelled`].  Tokens are
+/// one-shot latches: once cancelled, every query submitted with the token
+/// fails until a fresh token is used.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag the worker-pool checkpoints poll.
+    fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Per-query execution limits for [`Engine::run_with`]: an optional
+/// deadline (a time budget measured from query start) and an optional
+/// [`CancelToken`].  Both are enforced *cooperatively* at chunk boundaries
+/// and between DAG levels on the fine-grained path, so a stuck or oversized
+/// query stops in bounded time without killing the session; the
+/// sequential/coarse paths check them only at query start.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Time budget for the query; `Some(d)` makes the query return
+    /// [`EngineError::DeadlineExceeded`] once `d` has elapsed.
+    pub deadline: Option<Duration>,
+    /// Cancellation token; see [`CancelToken`].
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryOptions {
+    /// No limits (what [`Engine::run`] uses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the query's time budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Task specs (batched queries)
@@ -158,6 +323,13 @@ const HEAD_TAIL_CACHE_CAP: usize = 8;
 /// purely from the borrowed archive/DAG (plus the engine-fixed thread count
 /// and chunk threshold), so nothing ever needs invalidating: the borrow
 /// guarantees the archive cannot change while the session lives.
+///
+/// The `.expect("… ensured")` sites here and in the task paths are
+/// unreachable by construction: each one is dominated by the `ensure_*`
+/// call that fills the field, and the fills are panic-atomic (the artifact
+/// is computed into a local and assigned only on success), so a faulted run
+/// can never leave a half-filled field behind for the next query to trip
+/// on.
 #[derive(Default)]
 pub(crate) struct SessionCache {
     /// Top-down DAG level schedule (root layer first).
@@ -420,15 +592,25 @@ impl<'a> EngineBuilder<'a> {
         self
     }
 
-    /// Validates the configuration and builds the engine, spawning the
-    /// persistent worker pool for the fine mode.
-    pub fn build(self) -> Result<Engine<'a>, ConfigError> {
+    /// Validates the configuration **and the archive/DAG structure**, then
+    /// builds the engine, spawning the persistent worker pool for the fine
+    /// mode.
+    ///
+    /// # Errors
+    /// [`EngineError::Config`] for a nonsense knob;
+    /// [`EngineError::InvalidArchive`] when the grammar fails structural
+    /// validation (out-of-range rule references, cycles, empty root,
+    /// misplaced splitters) or the DAG does not match the grammar — caught
+    /// here, at build time, instead of panicking mid-traversal on the first
+    /// query.
+    pub fn build(self) -> Result<Engine<'a>, EngineError> {
         if self.num_threads == 0 {
-            return Err(ConfigError::ZeroThreads);
+            return Err(ConfigError::ZeroThreads.into());
         }
         if self.chunk_elements == 0 {
-            return Err(ConfigError::ZeroChunkElements);
+            return Err(ConfigError::ZeroChunkElements.into());
         }
+        validate_archive(self.archive, self.dag)?;
         let inner = match self.kind {
             ModeKind::Sequential => EngineInner::Sequential,
             ModeKind::Coarse => EngineInner::Coarse(ParallelConfig {
@@ -443,6 +625,7 @@ impl<'a> EngineBuilder<'a> {
                     fcfg,
                     pool: WorkerPool::new(fcfg.num_threads),
                     cache: SessionCache::default(),
+                    epochs_retired: 0,
                 }))
             }
         };
@@ -452,6 +635,36 @@ impl<'a> EngineBuilder<'a> {
             inner,
         })
     }
+}
+
+/// Structural validation of the archive/DAG pair a session is built over.
+/// Every traversal in the engine assumes these invariants (in-range rule
+/// references, acyclicity, a DAG derived from *this* grammar); violating
+/// them used to surface as a panic (or worse, an index-out-of-bounds abort)
+/// deep inside the first query.
+fn validate_archive(archive: &TadocArchive, dag: &Dag) -> Result<(), EngineError> {
+    let grammar = &archive.grammar;
+    grammar
+        .validate()
+        .map_err(|e| EngineError::InvalidArchive {
+            reason: e.to_string(),
+        })?;
+    if grammar.root().is_empty() {
+        return Err(EngineError::InvalidArchive {
+            reason: "root rule is empty (no corpus content)".to_string(),
+        });
+    }
+    if dag.num_rules != grammar.num_rules() {
+        return Err(EngineError::InvalidArchive {
+            reason: format!(
+                "DAG has {} rules but the grammar has {} — the DAG was not \
+                 derived from this grammar",
+                dag.num_rules,
+                grammar.num_rules()
+            ),
+        });
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -465,6 +678,10 @@ struct FineState {
     fcfg: FineGrainedConfig,
     pool: WorkerPool,
     cache: SessionCache,
+    /// Epochs dispatched by pools this session has already retired (healed
+    /// after poisoning).  Added to the live pool's count so
+    /// [`Engine::epochs`] stays strictly increasing across heal cycles.
+    epochs_retired: u64,
 }
 
 enum EngineInner {
@@ -551,7 +768,7 @@ impl<'a> Engine<'a> {
     /// (0 for the sequential/coarse modes, which own no pool).
     pub fn epochs(&self) -> u64 {
         match &self.inner {
-            EngineInner::Fine(state) => state.pool.epochs(),
+            EngineInner::Fine(state) => state.epochs_retired + state.pool.epochs(),
             _ => 0,
         }
     }
@@ -567,28 +784,61 @@ impl<'a> Engine<'a> {
     /// Runs one task, reusing every applicable cached artifact and caching
     /// whatever had to be computed for the queries that follow.
     ///
+    /// Equivalent to [`run_with`](Self::run_with) under no limits.
+    ///
     /// # Errors
-    /// [`ConfigError::ZeroSequenceLength`] if a sequence-sensitive task is
-    /// submitted with `sequence_length == 0`.
-    pub fn run(&mut self, task: Task, cfg: TaskConfig) -> Result<TaskExecution, ConfigError> {
+    /// See [`EngineError`] for the full failure model; with no limits
+    /// attached, the reachable errors are [`EngineError::Config`] (a
+    /// sequence-sensitive task with `sequence_length == 0`) and the
+    /// double-fault variants [`EngineError::WorkerPanicked`] /
+    /// [`EngineError::ArenaCapacity`].
+    pub fn run(&mut self, task: Task, cfg: TaskConfig) -> Result<TaskExecution, EngineError> {
+        self.run_with(task, cfg, &QueryOptions::default())
+    }
+
+    /// Runs one task under per-query limits (deadline, cancellation).
+    ///
+    /// The limits are enforced cooperatively: the fine-grained path checks
+    /// them at every chunk boundary and between DAG levels, so an abort
+    /// surfaces in bounded time and never poisons the session; the
+    /// sequential/coarse paths check them only before the query starts.
+    ///
+    /// # Errors
+    /// [`EngineError::Cancelled`] / [`EngineError::DeadlineExceeded`] for
+    /// tripped limits, plus everything [`run`](Self::run) can return.
+    pub fn run_with(
+        &mut self,
+        task: Task,
+        cfg: TaskConfig,
+        opts: &QueryOptions,
+    ) -> Result<TaskExecution, EngineError> {
         if task.is_sequence_sensitive() && cfg.sequence_length == 0 {
-            return Err(ConfigError::ZeroSequenceLength { task });
+            return Err(ConfigError::ZeroSequenceLength { task }.into());
         }
-        Ok(match &mut self.inner {
-            EngineInner::Sequential => run_task(self.archive, self.dag, task, cfg),
+        // Pre-flight: an already-tripped limit fails before any work, on
+        // every path (the sequential/coarse backends have no checkpoints).
+        if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(EngineError::Cancelled);
+        }
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(EngineError::DeadlineExceeded);
+        }
+        match &mut self.inner {
+            EngineInner::Sequential => Ok(run_task(self.archive, self.dag, task, cfg)),
             EngineInner::Coarse(pcfg) => {
-                run_task_parallel(self.archive, self.dag, task, cfg, *pcfg)
+                Ok(run_task_parallel(self.archive, self.dag, task, cfg, *pcfg))
             }
-            EngineInner::Fine(state) => run_fine_with_cache(
+            EngineInner::Fine(state) => run_fine(
                 self.archive,
                 self.dag,
                 task,
                 cfg,
-                state.fcfg,
-                &state.pool,
-                &mut state.cache,
+                state,
+                opts.cancel.as_ref().map(CancelToken::flag),
+                deadline,
             ),
-        })
+        }
     }
 
     /// Runs a batch of queries on the shared session, computing shared
@@ -598,14 +848,108 @@ impl<'a> Engine<'a> {
     /// batch behind.
     ///
     /// # Errors
-    /// The first [`ConfigError`] among the specs, if any.
-    pub fn run_all(&mut self, specs: &[TaskSpec]) -> Result<Vec<TaskExecution>, ConfigError> {
+    /// The first [`EngineError::Config`] among the specs, if any; otherwise
+    /// whatever [`run`](Self::run) returns for the failing query.
+    pub fn run_all(&mut self, specs: &[TaskSpec]) -> Result<Vec<TaskExecution>, EngineError> {
         for spec in specs {
             if spec.task.is_sequence_sensitive() && spec.cfg.sequence_length == 0 {
-                return Err(ConfigError::ZeroSequenceLength { task: spec.task });
+                return Err(ConfigError::ZeroSequenceLength { task: spec.task }.into());
             }
         }
         specs.iter().map(|s| self.run(s.task, s.cfg)).collect()
+    }
+}
+
+/// The fine path's fault-isolation shell: runs the query on the pool inside
+/// `catch_unwind`, classifies any escaped payload, heals the pool if the
+/// fault poisoned it, and degrades to the sequential oracle path once.
+///
+/// The recovery ladder, in order:
+/// 1. [`Abort`] payloads (cancel/deadline checkpoints fired) are clean:
+///    return the matching [`EngineError`] — nothing is poisoned, no retry.
+/// 2. Anything else is a real fault.  Discard the interrupted run's cache
+///    charge (the `ensure_*` fills are panic-atomic, so cached artifacts
+///    are complete-or-absent — only the *accounting* needs resetting).
+/// 3. If the fault poisoned the pool, rebuild it (same thread count),
+///    retiring the old pool's epoch count so [`Engine::epochs`] keeps
+///    increasing monotonically.
+/// 4. Retry once on the sequential path — byte-identical output by
+///    construction — and mark the result
+///    [`degraded`](crate::timing::PhaseTimings::degraded).
+/// 5. If the sequential retry *also* faults (a double fault: the input
+///    itself is panic-shaped, not a transient), return the typed error
+///    classified from the original payload.
+fn run_fine(
+    archive: &TadocArchive,
+    dag: &Dag,
+    task: Task,
+    cfg: TaskConfig,
+    state: &mut FineState,
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+) -> Result<TaskExecution, EngineError> {
+    state.pool.install_control(cancel, deadline);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_fine_with_cache(
+            archive,
+            dag,
+            task,
+            cfg,
+            state.fcfg,
+            &state.pool,
+            &mut state.cache,
+        )
+    }));
+    state.pool.clear_control();
+    let payload = match result {
+        Ok(exec) => return Ok(exec),
+        Err(payload) => payload,
+    };
+    let _ = state.cache.take_charge();
+
+    if let Some(abort) = payload.downcast_ref::<Abort>() {
+        return Err(match abort {
+            Abort::Cancelled => EngineError::Cancelled,
+            Abort::DeadlineExceeded => EngineError::DeadlineExceeded,
+        });
+    }
+
+    let capacity = payload.downcast_ref::<arena::CapacityError>().copied();
+    if state.pool.is_poisoned() {
+        let healed = WorkerPool::new(state.fcfg.num_threads);
+        let old = std::mem::replace(&mut state.pool, healed);
+        state.epochs_retired += old.epochs();
+    }
+    let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_task(archive, dag, task, cfg)
+    }));
+    match retry {
+        Ok(mut exec) => {
+            exec.timings.degraded = Some(match capacity {
+                Some(_) => Degradation::ArenaCapacity,
+                None => Degradation::WorkerPanic,
+            });
+            Ok(exec)
+        }
+        Err(_) => Err(match capacity {
+            Some(error) => EngineError::ArenaCapacity { error },
+            None => EngineError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            },
+        }),
+    }
+}
+
+/// Best-effort extraction of a human-readable message from a panic payload
+/// (`&str` and `String` cover everything `panic!` produces; typed
+/// `panic_any` payloads are classified before this is consulted).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -619,6 +963,7 @@ impl std::fmt::Debug for Engine<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests may assert by unwrapping
 mod tests {
     use super::*;
     use crate::fine_grained::run_task_with_mode;
@@ -639,14 +984,14 @@ mod tests {
         let (archive, dag) = build_archive();
         assert_eq!(
             Engine::builder(&archive, &dag).threads(0).build().err(),
-            Some(ConfigError::ZeroThreads)
+            Some(EngineError::Config(ConfigError::ZeroThreads))
         );
         assert_eq!(
             Engine::builder(&archive, &dag)
                 .chunk_elements(0)
                 .build()
                 .err(),
-            Some(ConfigError::ZeroChunkElements)
+            Some(EngineError::Config(ConfigError::ZeroChunkElements))
         );
         // Errors render as readable messages.
         assert!(ConfigError::ZeroThreads.to_string().contains("num_threads"));
@@ -657,6 +1002,57 @@ mod tests {
             .to_string()
             .contains("sequenceCount")
         );
+        assert!(EngineError::Config(ConfigError::ZeroThreads)
+            .to_string()
+            .contains("invalid configuration"));
+    }
+
+    #[test]
+    fn builder_rejects_structurally_invalid_archives() {
+        use sequitur::Symbol;
+        let (archive, dag) = build_archive();
+
+        // Out-of-range rule reference.
+        let mut corrupt = archive.clone();
+        corrupt.grammar.rules[0].push(Symbol::Rule(u32::MAX));
+        match Engine::builder(&corrupt, &dag).build().err() {
+            Some(EngineError::InvalidArchive { reason }) => {
+                assert!(reason.contains("nonexistent"), "reason: {reason}")
+            }
+            other => panic!("expected InvalidArchive, got {other:?}"),
+        }
+
+        // Cycle through the root.
+        let mut cyclic = archive.clone();
+        cyclic.grammar.rules[0].push(Symbol::Rule(0));
+        assert!(matches!(
+            Engine::builder(&cyclic, &dag).build().err(),
+            Some(EngineError::InvalidArchive { .. })
+        ));
+
+        // Empty root: no corpus content to traverse.
+        let mut empty = archive.clone();
+        empty.grammar.rules = vec![Vec::new()];
+        let empty_dag = Dag::from_grammar(&empty.grammar);
+        match Engine::builder(&empty, &empty_dag).build().err() {
+            Some(EngineError::InvalidArchive { reason }) => {
+                assert!(reason.contains("root rule is empty"), "reason: {reason}")
+            }
+            other => panic!("expected InvalidArchive, got {other:?}"),
+        }
+
+        // A DAG that was not derived from this grammar.
+        let (other_archive, _) = build_archive();
+        let mut trimmed = other_archive.clone();
+        trimmed.grammar.rules = vec![vec![Symbol::Word(1), Symbol::Word(2)]];
+        let foreign_dag = Dag::from_grammar(&trimmed.grammar);
+        assert!(matches!(
+            Engine::builder(&archive, &foreign_dag).build().err(),
+            Some(EngineError::InvalidArchive { .. })
+        ));
+
+        // The pristine pair still builds.
+        assert!(Engine::builder(&archive, &dag).build().is_ok());
     }
 
     #[test]
@@ -666,9 +1062,9 @@ mod tests {
         let cfg = TaskConfig { sequence_length: 0 };
         assert_eq!(
             engine.run(Task::SequenceCount, cfg).err(),
-            Some(ConfigError::ZeroSequenceLength {
+            Some(EngineError::Config(ConfigError::ZeroSequenceLength {
                 task: Task::SequenceCount
-            })
+            }))
         );
         // Batch validation happens before anything executes.
         let specs = [
@@ -677,13 +1073,40 @@ mod tests {
         ];
         assert_eq!(
             engine.run_all(&specs).err(),
-            Some(ConfigError::ZeroSequenceLength {
+            Some(EngineError::Config(ConfigError::ZeroSequenceLength {
                 task: Task::RankedInvertedIndex
-            })
+            }))
         );
         assert_eq!(engine.epochs(), 0, "nothing may have run");
         // Non-sequence tasks ignore the knob entirely.
         assert!(engine.run(Task::WordCount, cfg).is_ok());
+    }
+
+    #[test]
+    fn pre_flight_limit_checks_reject_before_any_work() {
+        let (archive, dag) = build_archive();
+        let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let opts = QueryOptions::new().cancel_token(token);
+        assert_eq!(
+            engine
+                .run_with(Task::WordCount, TaskConfig::default(), &opts)
+                .err(),
+            Some(EngineError::Cancelled)
+        );
+        assert_eq!(engine.epochs(), 0, "cancelled pre-flight: nothing ran");
+        // A fresh token imposes nothing.
+        let opts = QueryOptions::new().cancel_token(CancelToken::new());
+        assert!(engine
+            .run_with(Task::WordCount, TaskConfig::default(), &opts)
+            .is_ok());
+        // A generous deadline does not trip.
+        let opts = QueryOptions::new().deadline(Duration::from_secs(3600));
+        assert!(engine
+            .run_with(Task::WordCount, TaskConfig::default(), &opts)
+            .is_ok());
     }
 
     #[test]

@@ -21,10 +21,17 @@
 //! worker makes during a level is visible to the caller and to all workers
 //! of the next level.
 
+// The session layer (this module and `engine`) is the error boundary of the
+// fine path: every fallible edge must either return a typed error or carry a
+// documented unreachability argument — bare `.unwrap()` is banned outright
+// (enforced by the CI `robustness-gate` clippy run).
+#![deny(clippy::unwrap_used)]
+
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A dynamic chunk dispenser over the index range `0..n`.
 ///
@@ -101,7 +108,55 @@ struct PoolShared {
     done: Condvar,
 }
 
+/// Unreachable in practice: no code path holds a pool mutex across anything
+/// that can unwind — helpers run jobs under `catch_unwind` *outside* the
+/// lock, and the control checkpoint releases its lock before raising an
+/// abort — so the `.expect(POOL_MUTEX_MSG)` sites assert an invariant rather
+/// than handle a reachable error.
 const POOL_MUTEX_MSG: &str = "worker pool mutex poisoned";
+
+/// A controlled early exit of a query, raised as a typed panic payload by
+/// [`WorkerPool::checkpoint`] when the installed control trips.  It rides
+/// the same panic-safe barrier machinery as a real fault — every worker
+/// unwinds to the barrier, the epoch completes — but the dispatcher
+/// recognizes the payload and treats the query as cleanly aborted: an
+/// `Abort` never poisons the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// The query's cancel token was triggered.
+    Cancelled,
+    /// The query's deadline passed.
+    DeadlineExceeded,
+}
+
+/// How one barrier epoch ended.  Returned by [`WorkerPool::run_epoch`]; the
+/// barrier itself **always** completes first, so by the time the outcome is
+/// visible no worker references the epoch's job closure anymore and the pool
+/// is structurally intact either way.
+#[derive(Debug)]
+pub enum EpochOutcome {
+    /// Every worker ran its share to completion.
+    Completed,
+    /// At least one worker unwound; this is the first caught payload
+    /// (worker 0's takes precedence — it is the caller's own unwind).
+    Faulted(Box<dyn std::any::Any + Send>),
+}
+
+/// The per-query cooperative-cancellation control (cancel flag + absolute
+/// deadline) checked by [`WorkerPool::checkpoint`].
+#[derive(Default)]
+struct ControlState {
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+struct Control {
+    /// Fast-path gate: `true` only while a cancel token or deadline is
+    /// installed, so control-free queries pay a single relaxed load per
+    /// chunk boundary.
+    active: AtomicBool,
+    state: Mutex<ControlState>,
+}
 
 /// A persistent pool of parked worker threads dispatching jobs as
 /// generation-counted barrier epochs.
@@ -131,6 +186,13 @@ pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Set when an epoch faulted with anything other than a controlled
+    /// [`Abort`]: worker-local state (arena regions mid-write, shard buffers
+    /// mid-merge) may be inconsistent, and the owner should rebuild the pool
+    /// before trusting it with another query.  The *barrier* is intact
+    /// either way — a poisoned pool still completes epochs.
+    poisoned: AtomicBool,
+    control: Control,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -171,6 +233,11 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            poisoned: AtomicBool::new(false),
+            control: Control {
+                active: AtomicBool::new(false),
+                state: Mutex::new(ControlState::default()),
+            },
         }
     }
 
@@ -193,17 +260,47 @@ impl WorkerPool {
     /// Panics propagate like `thread::scope`: a panic in any worker
     /// (including worker 0) is re-thrown on the calling thread, and the
     /// barrier is always completed first, so the job closure is never
-    /// referenced after `run` unwinds.
+    /// referenced after `run` unwinds.  [`WorkerPool::run_epoch`] is the
+    /// non-unwinding form for dispatchers that classify faults themselves.
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        match self.run_epoch(f) {
+            EpochOutcome::Completed => {}
+            EpochOutcome::Faulted(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Runs one barrier epoch like [`WorkerPool::run`] but reports a worker
+    /// unwind as [`EpochOutcome::Faulted`] instead of re-throwing it.  Every
+    /// worker's body runs under `catch_unwind`, the barrier completes
+    /// faulted or not, and a non-[`Abort`] fault marks the pool
+    /// [poisoned](WorkerPool::is_poisoned).
+    pub fn run_epoch(&self, f: &(dyn Fn(usize) + Sync)) -> EpochOutcome {
+        let outcome = self.run_epoch_inner(f);
+        if let EpochOutcome::Faulted(payload) = &outcome {
+            // Controlled aborts leave only *discarded* per-query state
+            // behind; anything else may have broken invariants mid-write.
+            if !payload.is::<Abort>() {
+                self.poisoned.store(true, Ordering::Release);
+            }
+        }
+        outcome
+    }
+
+    fn run_epoch_inner(&self, f: &(dyn Fn(usize) + Sync)) -> EpochOutcome {
         if self.handles.is_empty() {
-            f(0);
-            return;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                failpoints::fail_point!("worker-epoch");
+                f(0);
+            }));
+            return match result {
+                Ok(()) => EpochOutcome::Completed,
+                Err(payload) => EpochOutcome::Faulted(payload),
+            };
         }
         // SAFETY: erasing the borrow's lifetime is sound because this
-        // function only returns (or unwinds — see `EpochGuard`) after every
-        // helper has signalled completion (`remaining == 0`), and helpers
-        // never touch the job pointer after signalling — so the pointee
-        // outlives every dereference.
+        // function only returns after every helper has signalled completion
+        // (`remaining == 0`), and helpers never touch the job pointer after
+        // signalling — so the pointee outlives every dereference.
         let job = JobPtr(unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync + '_),
@@ -222,7 +319,10 @@ impl WorkerPool {
         // Wait out the barrier even if worker 0's share panics below: the
         // helpers are still dereferencing the lifetime-erased job pointer,
         // so unwinding past it before `remaining == 0` would be a
-        // use-after-free.
+        // use-after-free.  (Worker 0 is additionally wrapped in
+        // `catch_unwind`, but the guard keeps the barrier panic-safe even
+        // against unwinds `catch_unwind` cannot see, e.g. a checkpoint
+        // abort raised between the dispatch above and the catch below.)
         struct EpochGuard<'a>(&'a PoolShared);
         impl Drop for EpochGuard<'_> {
             fn drop(&mut self) {
@@ -234,11 +334,77 @@ impl WorkerPool {
             }
         }
         let guard = EpochGuard(&self.shared);
-        f(0);
+        let worker0 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            failpoints::fail_point!("worker-epoch");
+            f(0);
+        }));
         drop(guard);
-        let payload = self.shared.state.lock().expect(POOL_MUTEX_MSG).panic.take();
-        if let Some(payload) = payload {
-            std::panic::resume_unwind(payload);
+        let helper_payload = self.shared.state.lock().expect(POOL_MUTEX_MSG).panic.take();
+        match (worker0, helper_payload) {
+            (Ok(()), None) => EpochOutcome::Completed,
+            (Err(payload), _) => EpochOutcome::Faulted(payload),
+            (Ok(()), Some(payload)) => EpochOutcome::Faulted(payload),
+        }
+    }
+
+    /// Whether a past epoch faulted with a non-[`Abort`] panic.  The barrier
+    /// machinery survives a fault, but worker-local data touched by the
+    /// faulted epoch may be inconsistent; the owning session heals by
+    /// rebuilding the pool (cheap: `threads - 1` thread spawns) before the
+    /// next query.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Installs the cooperative-cancellation control for the queries that
+    /// follow: an optional shared cancel flag and an optional absolute
+    /// deadline, both checked by [`WorkerPool::checkpoint`].  Overwrites any
+    /// previously installed control; [`WorkerPool::clear_control`] removes
+    /// it.
+    pub fn install_control(&self, cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
+        let mut st = self.control.state.lock().expect(POOL_MUTEX_MSG);
+        let active = cancel.is_some() || deadline.is_some();
+        st.cancel = cancel;
+        st.deadline = deadline;
+        self.control.active.store(active, Ordering::Release);
+    }
+
+    /// Removes the installed control: subsequent checkpoints are a single
+    /// relaxed load.
+    pub fn clear_control(&self) {
+        self.install_control(None, None);
+    }
+
+    /// A cooperative cancellation point, called by every app path once per
+    /// claimed chunk and between DAG levels.  When the installed control has
+    /// tripped (token cancelled, or deadline passed) this raises a typed
+    /// [`Abort`] unwind, which the panic-safe barrier contains and the
+    /// dispatcher maps to a clean `Cancelled`/`DeadlineExceeded` error —
+    /// the pool is **not** poisoned.  Without an installed control the cost
+    /// is one relaxed atomic load.
+    #[inline]
+    pub fn checkpoint(&self) {
+        failpoints::fail_point!("chunk-boundary");
+        if self.control.active.load(Ordering::Acquire) {
+            self.checkpoint_slow();
+        }
+    }
+
+    #[cold]
+    fn checkpoint_slow(&self) {
+        let st = self.control.state.lock().expect(POOL_MUTEX_MSG);
+        let abort = if st.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+            Some(Abort::Cancelled)
+        } else if st.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(Abort::DeadlineExceeded)
+        } else {
+            None
+        };
+        // Release the lock before unwinding: a panic while holding the
+        // control mutex would poison it for every later checkpoint.
+        drop(st);
+        if let Some(abort) = abort {
+            std::panic::panic_any(abort);
         }
     }
 
@@ -367,13 +533,14 @@ fn helper_loop(shared: &PoolShared, worker: usize) {
             seen = st.epoch;
             st.job.expect("epoch announced without a job")
         };
-        // SAFETY: `run` keeps the closure alive until this worker (and all
-        // others) decrement `remaining` below.  Panics are caught so the
+        // SAFETY: `run_epoch` keeps the closure alive until this worker (and
+        // all others) decrement `remaining` below.  Panics are caught so the
         // barrier always completes (a missing decrement would deadlock the
-        // caller) and re-thrown on the calling thread; `AssertUnwindSafe`
-        // matches `thread::scope` semantics — the panic propagates, and the
+        // caller) and reported to the calling thread; `AssertUnwindSafe`
+        // matches `thread::scope` semantics — the fault propagates, and the
         // epoch's shared state is discarded with it.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            failpoints::fail_point!("worker-epoch");
             (unsafe { &*job.0 })(worker)
         }));
         let mut st = shared.state.lock().expect(POOL_MUTEX_MSG);
@@ -589,6 +756,7 @@ pub fn sequence_hash(seq: &[u32]) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests may assert by unwrapping
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
@@ -711,6 +879,82 @@ mod tests {
         // escaped.
         assert_eq!(finished.load(Ordering::SeqCst), 3);
         assert_eq!(pool.collect(|w| w * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn run_epoch_reports_faults_without_unwinding() {
+        let pool = WorkerPool::new(4);
+        assert!(!pool.is_poisoned());
+        let outcome = pool.run_epoch(&|w| {
+            if w == 2 {
+                panic!("epoch boom");
+            }
+        });
+        match outcome {
+            EpochOutcome::Faulted(payload) => {
+                let msg = payload.downcast_ref::<&str>().expect("str payload");
+                assert_eq!(*msg, "epoch boom");
+            }
+            EpochOutcome::Completed => panic!("fault must be reported"),
+        }
+        assert!(pool.is_poisoned(), "a real fault poisons the pool");
+        // Poisoned is advisory: the barrier is intact and epochs still run.
+        assert_eq!(pool.collect(|w| w), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_thread_pool_contains_worker_zero_fault() {
+        let pool = WorkerPool::new(1);
+        let outcome = pool.run_epoch(&|_| panic!("inline boom"));
+        assert!(matches!(outcome, EpochOutcome::Faulted(_)));
+        assert!(pool.is_poisoned());
+    }
+
+    #[test]
+    fn cancel_checkpoint_aborts_without_poisoning() {
+        let pool = WorkerPool::new(4);
+        let cancel = Arc::new(AtomicBool::new(true));
+        pool.install_control(Some(cancel), None);
+        let outcome = pool.run_epoch(&|_| pool.checkpoint());
+        match outcome {
+            EpochOutcome::Faulted(payload) => {
+                assert_eq!(payload.downcast_ref::<Abort>(), Some(&Abort::Cancelled));
+            }
+            EpochOutcome::Completed => panic!("cancelled epoch must abort"),
+        }
+        assert!(!pool.is_poisoned(), "a controlled abort must not poison");
+        pool.clear_control();
+        assert!(matches!(
+            pool.run_epoch(&|_| pool.checkpoint()),
+            EpochOutcome::Completed
+        ));
+    }
+
+    #[test]
+    fn deadline_checkpoint_aborts_in_bounded_time() {
+        let pool = WorkerPool::new(2);
+        pool.install_control(None, Some(Instant::now()));
+        let outcome = pool.run_epoch(&|_| loop {
+            pool.checkpoint();
+        });
+        match outcome {
+            EpochOutcome::Faulted(payload) => {
+                assert_eq!(
+                    payload.downcast_ref::<Abort>(),
+                    Some(&Abort::DeadlineExceeded)
+                );
+            }
+            EpochOutcome::Completed => panic!("expired deadline must abort"),
+        }
+        pool.clear_control();
+        assert!(!pool.is_poisoned());
+    }
+
+    #[test]
+    fn checkpoint_without_control_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.for_range(100, |_| pool.checkpoint());
+        assert!(!pool.is_poisoned());
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub fn build_head_tail(
     pool: &WorkerPool,
     work: &mut WorkStats,
 ) -> HeadTail {
+    // Precondition assert for direct callers only: both Engine entry points
+    // reject `l == 0` with `ConfigError::ZeroSequenceLength` (and the
+    // one-shot wrapper defers to the sequential path) before reaching here.
     assert!(l >= 1, "sequence length must be at least 1");
     let n = dag.num_rules;
     let keep = l - 1;
@@ -166,6 +169,7 @@ pub fn build_head_tail(
         let scanned = AtomicU64::new(0);
         let moved = AtomicU64::new(0);
         for level in levels {
+            pool.checkpoint(); // cancel/deadline, once per DAG level
             // Lock-free assembly: every worker writes only its own rules'
             // slots; everything it reads (children's buffers) was written in
             // a previous epoch, whose barrier ordered the writes.

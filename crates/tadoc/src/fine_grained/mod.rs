@@ -82,7 +82,9 @@ pub mod file_csr;
 pub mod head_tail;
 pub mod sequences;
 
-pub use engine::{ConfigError, Engine, EngineBuilder, TaskSpec};
+pub use engine::{
+    CancelToken, ConfigError, Engine, EngineBuilder, EngineError, QueryOptions, TaskSpec,
+};
 
 use crate::apps::{run_task, Task, TaskConfig, TaskExecution};
 use crate::parallel::{run_task_parallel, ParallelConfig};
@@ -293,6 +295,7 @@ fn parallel_rule_weights(
     weights[0].store(1, Ordering::Relaxed);
     let edges = AtomicU64::new(0);
     for level in levels {
+        pool.checkpoint(); // cancel/deadline, once per DAG level
         pool.for_range(level.len(), |i| {
             let r = level[i] as usize;
             let w = weights[r].load(Ordering::Relaxed);
@@ -365,6 +368,7 @@ fn parallel_file_weights(
     {
         let slots = DisjointSlots::new(&mut fw);
         for level in levels {
+            pool.checkpoint(); // cancel/deadline, once per DAG level
             pool.for_range(level.len(), |i| {
                 let r = level[i] as usize;
                 if r == 0 {
@@ -528,6 +532,7 @@ fn word_count_fine(
                 (0..threads).map(|_| ShardBuf::default()).collect();
             let mut stats = WorkStats::default();
             while let Some(range) = queue.next() {
+                pool.checkpoint(); // cancel/deadline, once per claimed chunk
                 for item in range {
                     let c = chunks[item];
                     let r = c.item as usize;
@@ -571,6 +576,7 @@ fn word_count_fine(
             traversal_work,
             shared_init: charge.time,
             warm: !charge.computed,
+            ..Default::default()
         },
     }
 }
@@ -624,6 +630,7 @@ fn inverted_index_fine(
             // rebuilt once per chunk, not once per word.
             let mut blocks: Vec<(u32, u64)> = Vec::new();
             while let Some(range) = queue.next() {
+                pool.checkpoint(); // cancel/deadline, once per claimed chunk
                 for item in range {
                     if item < num_rule_items {
                         let c = rule_chunks[item];
@@ -709,6 +716,7 @@ fn inverted_index_fine(
             traversal_work,
             shared_init: charge.time,
             warm: !charge.computed,
+            ..Default::default()
         },
     }
 }
@@ -783,6 +791,7 @@ pub(crate) fn build_term_vector_prep(
             let mut out: SeedLists = Vec::new();
             let mut stats = WorkStats::default();
             while let Some(range) = queue.next() {
+                pool.checkpoint(); // cancel/deadline, once per claimed chunk
                 for ci in range {
                     let c = seed_chunks[ci];
                     let mut buf: ShardBuf<CountEntry<u32>> = ShardBuf::default();
@@ -823,6 +832,7 @@ pub(crate) fn build_term_vector_prep(
         let mut stats = WorkStats::default();
         let mut out: FileRows = Vec::new();
         while let Some(range) = queue.next() {
+            pool.checkpoint(); // cancel/deadline, once per claimed chunk
             for f in range {
                 // Seed: direct rule references in the file's root segment —
                 // from the pre-folded chunk lists for oversized segments,
@@ -945,6 +955,7 @@ fn term_vector_fine(
             stats.bytes_moved += vocab as u64 * 8;
             let mut vectors: FileVectors = Vec::with_capacity(files.len());
             for f in files {
+                pool.checkpoint(); // cancel/deadline, once per owned file
                 // Root words of the file's segment.
                 if let Some(&(start, end)) = segments.get(f) {
                     for sym in &root[start..end] {
@@ -1003,6 +1014,7 @@ fn term_vector_fine(
             traversal_work,
             shared_init: charge.time,
             warm: !charge.computed,
+            ..Default::default()
         },
     }
 }
@@ -1084,6 +1096,7 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
                 (0..threads).map(|_| ShardBuf::default()).collect();
             let mut stats = WorkStats::default();
             while let Some(range) = queue.next() {
+                pool.checkpoint(); // cancel/deadline, once per claimed chunk
                 for item in range {
                     match items[item] {
                         SeqItem::Rule { r, begin, end } => {
@@ -1134,6 +1147,7 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
             traversal_work,
             shared_init: charge.time,
             warm: !charge.computed,
+            ..Default::default()
         },
     }
 }
@@ -1192,6 +1206,7 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
             let mut stats = WorkStats::default();
             let mut local: Vec<CountEntry<K>> = Vec::new();
             while let Some(range) = queue.next() {
+                pool.checkpoint(); // cancel/deadline, once per claimed chunk
                 for item in range {
                     match items[item] {
                         SeqItem::Rule { r, begin, end } => {
@@ -1268,6 +1283,7 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
             traversal_work,
             shared_init: charge.time,
             warm: !charge.computed,
+            ..Default::default()
         },
     }
 }

@@ -41,6 +41,22 @@ impl WorkStats {
     }
 }
 
+/// Why a query was served by the sequential fallback instead of the
+/// execution path the session was built for.  Recorded in
+/// [`PhaseTimings::degraded`] when the fine-grained path faulted and the
+/// engine transparently retried the query sequentially (oracle-identical by
+/// construction) — the answer is still correct, but a serving layer will
+/// want to alert on the latency cliff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// A worker panicked mid-query; the pool was healed (rebuilt) and the
+    /// query retried on the sequential path.
+    WorkerPanic,
+    /// An arena capacity bound was violated mid-query; the query was
+    /// retried on the sequential path (which sizes nothing up front).
+    ArenaCapacity,
+}
+
 /// Wall-clock and work accounting for the two execution phases.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
@@ -66,6 +82,10 @@ pub struct PhaseTimings {
     /// for one-shot runs and for the sequential/coarse modes, which cache
     /// nothing.
     pub warm: bool,
+    /// Set when the run was *degraded*: the fine-grained path faulted and
+    /// the engine served the query through the sequential fallback instead.
+    /// `None` on every run served by the requested path.
+    pub degraded: Option<Degradation>,
 }
 
 impl PhaseTimings {

@@ -59,8 +59,8 @@ pub mod prelude {
     pub use sequitur::{ArchiveStats, Dag, Grammar, Symbol, TadocArchive};
     pub use tadoc::apps::{run_task, Task, TaskConfig};
     pub use tadoc::fine_grained::{
-        run_task_fine_grained, run_task_with_mode, ConfigError, Engine, EngineBuilder,
-        ExecutionMode, FineGrainedConfig, TaskSpec,
+        run_task_fine_grained, run_task_with_mode, CancelToken, ConfigError, Engine,
+        EngineBuilder, EngineError, ExecutionMode, FineGrainedConfig, QueryOptions, TaskSpec,
     };
     pub use tadoc::results::AnalyticsOutput;
 }
