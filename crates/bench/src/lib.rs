@@ -12,6 +12,8 @@
 //! cargo run --release -p bench --bin experiments -- all --scale 0.3
 //! ```
 
+#![forbid(unsafe_code)]
+
 // Benchmarks measure the engine the users get; an engine with fault
 // injection compiled in is a different engine (registry lookups on every
 // chunk claim and merge fold).  Refuse to build rather than quietly measure

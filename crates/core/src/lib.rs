@@ -22,6 +22,8 @@
 //! CPU baseline in the `tadoc` crate (and the uncompressed oracle), while
 //! recording modelled GPU execution times for the experiment harness.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod engine;
 pub mod hashtable;

@@ -16,6 +16,8 @@
 //! controls cross-file and in-file redundancy (the property TADOC exploits).
 //! Everything is deterministic given the seed.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod datasets;
 pub mod rng;

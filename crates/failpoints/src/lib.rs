@@ -27,6 +27,8 @@
 //! | `arena-reserve`  | arena hash-table insert (capacity check)      |
 //! | `merge-fold`     | shard-buffer merge fold                       |
 
+#![forbid(unsafe_code)]
+
 #[cfg(feature = "enabled")]
 use std::collections::HashMap;
 #[cfg(feature = "enabled")]

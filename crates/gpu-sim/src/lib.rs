@@ -25,6 +25,8 @@
 //! reproduction relies on them only for the *shape* of the paper's results
 //! (see `DESIGN.md` and `EXPERIMENTS.md`).
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod kernel;
 pub mod memory;

@@ -19,6 +19,8 @@
 //! symbols at file boundaries, and every other rule represents a repeated
 //! fragment shared by the files.
 
+#![forbid(unsafe_code)]
+
 pub mod archive;
 pub mod compress;
 pub mod dag;

@@ -9,6 +9,8 @@
 //! HTML reporting — swap the path dependency for the real crate when a
 //! registry is available.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -9,6 +9,8 @@
 //! no input shrinking; swap the path dependency for the real crate when a
 //! registry is available.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic SplitMix64 generator driving case generation.

@@ -9,6 +9,8 @@
 //!   comparator of Section VI-E ("Comparison with GPU-accelerated
 //!   uncompressed analytics", where G-TADOC is reported ~2× faster).
 
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod gpu;
 

@@ -1,0 +1,29 @@
+//! Seeded violations: an atomic op without an explicit `Ordering`, a
+//! `SeqCst` crutch, and `Relaxed` on an epoch-control field.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct Pool {
+    pub epoch: AtomicU32,
+    pub cursor: AtomicU32,
+}
+
+pub fn violations(p: &Pool) -> u32 {
+    p.epoch.store(1, Ordering::Relaxed); // Relaxed on control state
+    let a = p.cursor.load(Ordering::SeqCst); // SeqCst crutch
+    a + implicit(&p.cursor)
+}
+
+fn implicit(c: &AtomicU32) -> u32 {
+    load_without_ordering(c)
+}
+
+fn load_without_ordering(c: &AtomicU32) -> u32 {
+    // The fixture needs a `.load(` call with no Ordering ident in the
+    // argument list; a helper constant keeps it compiling.
+    c.load(ORD)
+}
+
+const ORD: Ordering = Ordering::Acquire;

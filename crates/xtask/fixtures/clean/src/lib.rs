@@ -1,0 +1,22 @@
+//! Control fixture: exercises every rule's *happy* path, so the fixture
+//! harness proves the lint is not trivially failing everything.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Word `unsafe` in a doc comment, "unsafe" in a string, none in code.
+pub fn decoys() -> &'static str {
+    let raw = r#"unsafe { in_a_raw_string() }"#;
+    let _ = raw;
+    "unsafe in a plain string" // unsafe in a trailing comment
+}
+
+pub fn explicit_orderings(c: &AtomicU32) -> u32 {
+    c.store(1, Ordering::Release);
+    c.load(Ordering::Acquire)
+}
+
+pub fn no_bare_unwrap(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or_default()
+}

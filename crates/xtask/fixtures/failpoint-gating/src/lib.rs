@@ -1,0 +1,8 @@
+//! Seeded violation: a `fail_point!` site in a crate whose manifest does
+//! not wire the failpoints feature chain (no `[features] failpoints = …`).
+
+#![forbid(unsafe_code)]
+
+pub fn guarded_step() {
+    failpoints::fail_point!("fixture-site");
+}

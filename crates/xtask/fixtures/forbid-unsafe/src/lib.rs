@@ -1,0 +1,8 @@
+//! Seeded violation: unsafe code in a crate that is not allowlisted (and no
+//! `#![forbid(unsafe_code)]` at the crate root).
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    // SAFETY: the slice is non-empty by caller contract (a rationale, so
+    // only the forbid-unsafe rule fires on this fixture).
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: an `unsafe` block with no `// SAFETY:` rationale.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    // A comment that is not a rationale.
+    unsafe { *xs.as_ptr() }
+}

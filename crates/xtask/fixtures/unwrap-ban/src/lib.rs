@@ -1,0 +1,15 @@
+//! Seeded violation: a bare `.unwrap()` outside tests and macros.
+
+#![forbid(unsafe_code)]
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Allowed: tests may assert by unwrapping.
+    pub fn fine(xs: &[u32]) -> u32 {
+        *xs.first().unwrap()
+    }
+}

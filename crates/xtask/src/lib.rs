@@ -1,0 +1,24 @@
+//! Repo-specific static analysis for the G-TADOC workspace.
+//!
+//! The engine's performance claims rest on a handful of hand-written
+//! `unsafe` concurrency primitives (`exec::DisjointSlots`, the worker pool's
+//! lifetime-erased job pointer, the arena's raw region slicing).  Nothing in
+//! the stock toolchain checks the *repo-specific* invariants those
+//! primitives depend on, so this crate does: a dependency-free analyzer run
+//! as
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! It ships its own minimal Rust [`lexer`] (the container is offline — no
+//! `syn`) and applies the [`lint`] rules described in `ARCHITECTURE.md`
+//! (*Static analysis & race checking*).  The `analysis-gate` CI job runs the
+//! lint over the tree and the fixture tests under `tests/` prove each rule
+//! still fails on a seeded violation.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lint;
+pub mod workspace;

@@ -1,0 +1,108 @@
+//! Property tests for the lint lexer: the rules are only as trustworthy as
+//! the lexer's classification, so these drive it with adversarial streams —
+//! `unsafe` buried in strings, raw strings of every hash depth, nested block
+//! comments and doc comments — and assert the *code*-position occurrences
+//! are the only ones surfaced as identifiers.  A second property feeds raw
+//! character soup to prove the lexer never panics and always produces
+//! in-bounds, non-overlapping, ordered spans.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use xtask::lexer::{lex, TokenKind};
+
+/// One syntactically closed source fragment: `(text, code_unsafes)` where
+/// `code_unsafes` is how many *identifier*-position `unsafe` tokens it
+/// contributes (decoys contribute zero).
+const FRAGMENTS: &[(&str, usize)] = &[
+    // Decoys: the word in every non-code position the lexer must reject.
+    ("\"unsafe in a plain string\"", 0),
+    ("\"escaped quote \\\" then unsafe\"", 0),
+    ("r\"unsafe in a raw string\"", 0),
+    ("r#\"unsafe { in_raw_hash_one() }\"#", 0),
+    ("r##\"inner \"# quote then unsafe\"##", 0),
+    ("b\"unsafe bytes\"", 0),
+    ("br#\"unsafe raw bytes\"#", 0),
+    ("// unsafe in a line comment\n", 0),
+    ("/// unsafe in a doc comment\n", 0),
+    ("//! unsafe in an inner doc comment\n", 0),
+    ("/* unsafe in a block comment */", 0),
+    ("/* outer /* nested unsafe */ tail */", 0),
+    ("/** unsafe in a block doc */", 0),
+    ("'u'", 0),
+    ("r#unsafe", 0), // raw identifier: its text is `r#unsafe`, not `unsafe`
+    // Real sites: identifier-position `unsafe` tokens.
+    ("unsafe { f(); }", 1),
+    ("unsafe fn g() {}", 1),
+    ("unsafe impl Send for T {}", 1),
+    ("let x = unsafe { *p };", 1),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Composing random fragments, the lexer finds exactly the
+    // identifier-position `unsafe` occurrences — never the ones hidden in
+    // string/comment contexts.
+    #[test]
+    fn unsafe_is_found_only_in_code_position(picks in vec(0usize..FRAGMENTS.len(), 0..24)) {
+        let mut src = String::new();
+        let mut expected = 0usize;
+        for (n, &i) in picks.iter().enumerate() {
+            let (text, count) = FRAGMENTS[i];
+            src.push_str(text);
+            // Vary the joiner so fragments land on shared and fresh lines.
+            src.push_str(if n % 3 == 0 { "\n" } else { " " });
+            expected += count;
+        }
+        let toks = lex(&src);
+        let found = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text(&src) == "unsafe")
+            .count();
+        prop_assert_eq!(found, expected, "source:\n{}", src);
+    }
+
+    // Span discipline on fragment streams: tokens are ordered,
+    // non-overlapping, in bounds, and line numbers are non-decreasing and
+    // accurate.
+    #[test]
+    fn spans_are_ordered_and_in_bounds(picks in vec(0usize..FRAGMENTS.len(), 0..24)) {
+        let mut src = String::new();
+        for &i in &picks {
+            src.push_str(FRAGMENTS[i].0);
+            src.push('\n');
+        }
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        let mut prev_line = 1usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "overlapping spans in:\n{}", src);
+            prop_assert!(t.end > t.start);
+            prop_assert!(t.end <= src.len());
+            prop_assert!(t.line >= prev_line, "line numbers regressed in:\n{}", src);
+            let line_by_count = src[..t.start].matches('\n').count() + 1;
+            prop_assert_eq!(t.line, line_by_count, "wrong line for {:?}", t.text(&src));
+            prev_end = t.end;
+            prev_line = t.line;
+        }
+    }
+
+    // Character soup (quotes, hashes, slashes, backslashes — the worst
+    // inputs for string/comment state machines) never panics the lexer and
+    // never produces an out-of-bounds or overlapping span, even on
+    // unterminated constructs.
+    #[test]
+    fn arbitrary_soup_never_breaks_span_discipline(bytes in vec(0u8..16, 0..64)) {
+        const ALPHABET: &[u8; 16] = b"\"'#/r*b\\\n xu0_!;";
+        let src: String = bytes.iter().map(|&b| ALPHABET[b as usize] as char).collect();
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "overlap lexing {:?}", src);
+            prop_assert!(t.end > t.start, "empty span lexing {:?}", src);
+            prop_assert!(t.end <= src.len(), "out of bounds lexing {:?}", src);
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+    }
+}

@@ -41,6 +41,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use datagen;
 pub use gpu_sim;
 pub use gtadoc;
