@@ -71,7 +71,7 @@ fn bench_session_amortization(c: &mut Criterion) {
                     })
                 },
             );
-            let mut engine = Engine::builder(&prepared.archive, &prepared.dag)
+            let engine = Engine::builder(&prepared.archive, &prepared.dag)
                 .threads(THREADS)
                 .build()
                 .expect("valid bench engine");

@@ -12,26 +12,40 @@
 //! experiments -- uncompressed           # §VI-E vs GPU uncompressed analytics
 //! experiments -- ablation               # §IV design-choice ablations
 //! experiments -- fine                   # fine-grained CPU engine wall-clock bench
-//! experiments -- all                    # everything above
+//! experiments -- serve                  # concurrent serving load test
+//! experiments -- all                    # everything above (except serve)
 //!
 //! Options: --scale <f64>    dataset scale factor (default 0.3)
 //!          --threads <n>    worker threads for the `fine` bench (default 4)
 //!          --reps <n>       repetitions per measurement (default 3)
 //!          --out <path>     JSON output of the `fine` bench
 //!                           (default BENCH_fine_grained.json)
-//!          --dataset <ids>  datasets for the `fine` bench, comma-separated
-//!                           (default A,B) — `--dataset B` re-baselines
-//!                           dataset B without re-running A
+//!          --dataset <ids>  datasets for the `fine`/`serve` benches,
+//!                           comma-separated (default A,B) — `--dataset B`
+//!                           re-baselines dataset B without re-running A
 //!          --warm           also run all six tasks on ONE shared Engine
 //!                           session and record cold vs warm init in the
 //!                           JSON (the session-amortization contract)
+//!          --clients <n>    closed-loop client threads for `serve`
+//!                           (default 8)
+//!          --duration-ms <n> load window per dataset for `serve`
+//!                           (default 2000)
+//!          --mix <name>     serve task mix: all|counting|sequences
+//!                           (default all)
+//!          --no-cache       disable the results cache for `serve`
+//!          --serve-out <path> JSON output of the `serve` bench
+//!                           (default BENCH_serve.json)
 //! ```
 //!
 //! The `fine` command validates every report's schema (all six tasks
 //! present, all speedups finite) and exits non-zero on a violation — the
 //! `bench-smoke` CI job runs it at reduced scale for exactly that check.
+//! The `serve` command does the same for its load-test report (queries
+//! answered, zero oracle divergences, finite ordered latency percentiles) —
+//! the `serve-gate` CI job runs it at reduced scale.
 
 use bench::experiments::{self, ExperimentScale};
+use bench::serve::{self, ServeMix};
 use datagen::DatasetId;
 
 fn main() {
@@ -41,6 +55,11 @@ fn main() {
     let mut reps = 3u32;
     let mut out = "BENCH_fine_grained.json".to_string();
     let mut warm = false;
+    let mut clients = 8usize;
+    let mut duration_ms = 2000u64;
+    let mut mix = ServeMix::All;
+    let mut results_cache = true;
+    let mut serve_out = "BENCH_serve.json".to_string();
     let mut datasets = vec![DatasetId::A, DatasetId::B];
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
@@ -112,6 +131,46 @@ fn main() {
                 });
             }
             "--warm" => warm = true,
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--clients requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--duration-ms" => {
+                i += 1;
+                duration_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--duration-ms requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--mix" => {
+                i += 1;
+                mix = args
+                    .get(i)
+                    .and_then(|s| ServeMix::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--mix requires one of: all, counting, sequences");
+                        std::process::exit(2);
+                    });
+            }
+            "--no-cache" => results_cache = false,
+            "--serve-out" => {
+                i += 1;
+                serve_out = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--serve-out requires a path");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -136,6 +195,16 @@ fn main() {
             "uncompressed" => print!("{}", experiments::uncompressed_comparison(scale)),
             "ablation" => print!("{}", experiments::ablation(scale)),
             "fine" => run_fine(scale, threads, reps, &out, &datasets, warm),
+            "serve" => run_serve_bench(
+                scale,
+                threads,
+                clients,
+                duration_ms,
+                mix,
+                results_cache,
+                &serve_out,
+                &datasets,
+            ),
             "all" => {
                 println!("{}", experiments::table1());
                 println!("{}", experiments::table2(scale));
@@ -197,10 +266,62 @@ fn run_fine(
     }
 }
 
+/// Runs the concurrent-serving load test on the selected datasets and
+/// writes the machine-readable JSON.  Exits non-zero if any report fails
+/// schema validation (no queries answered, an answer diverged from the
+/// sequential oracle, non-finite or disordered latency numbers) — the
+/// `serve-gate` CI contract.
+#[allow(clippy::too_many_arguments)]
+fn run_serve_bench(
+    scale: ExperimentScale,
+    threads: usize,
+    clients: usize,
+    duration_ms: u64,
+    mix: ServeMix,
+    results_cache: bool,
+    out: &str,
+    datasets: &[DatasetId],
+) {
+    let mut reports = Vec::new();
+    for &id in datasets {
+        let report = serve::run_serve(serve::ServeConfig {
+            dataset: id,
+            scale,
+            clients,
+            threads,
+            duration: std::time::Duration::from_millis(duration_ms),
+            mix,
+            results_cache,
+        });
+        print!("{}", report.render());
+        println!();
+        reports.push(report);
+    }
+    let problems: Vec<String> = reports
+        .iter()
+        .flat_map(serve::ServeReport::schema_problems)
+        .collect();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("schema violation: {p}");
+        }
+        std::process::exit(1);
+    }
+    let json = serve::serve_json(&reports);
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "usage: experiments [--scale <f>] [--threads <n>] [--reps <n>] [--out <path>] \
-         [--dataset <A,B,...>] [--warm] \
-         <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|fine|all>..."
+         [--dataset <A,B,...>] [--warm] [--clients <n>] [--duration-ms <n>] \
+         [--mix <all|counting|sequences>] [--no-cache] [--serve-out <path>] \
+         <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|fine|serve|all>..."
     );
 }

@@ -685,7 +685,7 @@ fn measure_warm_session(
     reps: u32,
 ) -> Vec<WarmCell> {
     let cfg = TaskConfig::default();
-    let mut engine = Engine::builder(archive, dag)
+    let engine = Engine::builder(archive, dag)
         .threads(threads)
         .build()
         .expect("bench engine configuration is valid");

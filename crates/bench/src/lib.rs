@@ -26,9 +26,11 @@ compile_error!(
 );
 
 pub mod experiments;
+pub mod serve;
 
 pub use experiments::{
     ablation, fig10, fig9, fine_grained_json, fine_grained_report, prepare_dataset, summary,
     table1, table2, traversal_comparison, uncompressed_comparison, CellResult, ExperimentScale,
     FineGrainedReport, ModeCell, Platform, PreparedDataset,
 };
+pub use serve::{run_serve, serve_json, ServeConfig, ServeMix, ServeReport};

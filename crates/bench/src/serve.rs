@@ -1,0 +1,595 @@
+//! In-process serving load generator: the `experiments -- serve` command.
+//!
+//! The ROADMAP's north star is serving heavy query traffic over compressed
+//! archives, so the headline number of the serving milestone is not a
+//! single-query wall-clock but *latency under concurrency*: N closed-loop
+//! client threads (each submits, waits for the answer, submits again)
+//! hammer **one shared** [`Engine`] for a fixed duration, and the report
+//! records p50/p99 latency, queries/sec, and the results-cache hit rate —
+//! committed as `BENCH_serve.json` next to `BENCH_fine_grained.json`.
+//!
+//! Every answer is digest-checked against the sequential oracle (computed
+//! once per distinct key before the clock starts), so the load test is also
+//! a correctness test: a single divergent answer fails schema validation
+//! and the `serve-gate` CI job.
+
+use crate::experiments::{prepare_dataset, ExperimentScale};
+use datagen::DatasetId;
+use std::time::{Duration, Instant};
+use tadoc::apps::{Task, TaskConfig};
+use tadoc::fine_grained::Engine;
+
+/// Which `(task, cfg)` keys the clients cycle through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMix {
+    /// All six tasks at the default config, plus the two sequence tasks at
+    /// `l = 2` — eight keys exercising every artifact kind (the default).
+    All,
+    /// The counting tasks only (wordCount, sort, invertedIndex,
+    /// termVector): no head/tail buffers, heavier merge traffic.
+    Counting,
+    /// The sequence tasks at `l ∈ {2, 3, 4}`: hammers the per-`l` head/tail
+    /// slots, the artifact kind with the most interesting contention.
+    Sequences,
+}
+
+impl ServeMix {
+    /// Parses the `--mix` flag value.
+    pub fn parse(s: &str) -> Option<ServeMix> {
+        match s {
+            "all" => Some(ServeMix::All),
+            "counting" => Some(ServeMix::Counting),
+            "sequences" => Some(ServeMix::Sequences),
+            _ => None,
+        }
+    }
+
+    /// Flag-value name of the mix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeMix::All => "all",
+            ServeMix::Counting => "counting",
+            ServeMix::Sequences => "sequences",
+        }
+    }
+
+    /// The `(task, cfg)` keys of this mix.
+    pub fn keys(&self) -> Vec<(Task, TaskConfig)> {
+        let default = TaskConfig::default();
+        match self {
+            ServeMix::All => {
+                let mut keys: Vec<(Task, TaskConfig)> =
+                    Task::ALL.into_iter().map(|t| (t, default)).collect();
+                keys.push((Task::SequenceCount, TaskConfig { sequence_length: 2 }));
+                keys.push((Task::RankedInvertedIndex, TaskConfig { sequence_length: 2 }));
+                keys
+            }
+            ServeMix::Counting => vec![
+                (Task::WordCount, default),
+                (Task::Sort, default),
+                (Task::InvertedIndex, default),
+                (Task::TermVector, default),
+            ],
+            ServeMix::Sequences => [2usize, 3, 4]
+                .into_iter()
+                .flat_map(|l| {
+                    let cfg = TaskConfig { sequence_length: l };
+                    [(Task::SequenceCount, cfg), (Task::RankedInvertedIndex, cfg)]
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Dataset to serve.
+    pub dataset: DatasetId,
+    /// Dataset scale factor.
+    pub scale: ExperimentScale,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Load duration (clients stop submitting once it elapses).
+    pub duration: Duration,
+    /// Task mix the clients cycle through.
+    pub mix: ServeMix,
+    /// Whether the engine caches whole task outputs.
+    pub results_cache: bool,
+}
+
+/// Per-key traffic accounting of one serve run.
+#[derive(Debug, Clone)]
+pub struct KeyTraffic {
+    /// The task.
+    pub task: Task,
+    /// Its configuration.
+    pub cfg: TaskConfig,
+    /// Queries answered for this key across all clients.
+    pub queries: u64,
+}
+
+/// The measured result of one serve run — everything `BENCH_serve.json`
+/// records for one dataset.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Configured load duration in milliseconds.
+    pub duration_ms: u64,
+    /// Measured wall-clock of the load window in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Mix the clients cycled through.
+    pub mix: ServeMix,
+    /// Total queries answered.
+    pub total_queries: u64,
+    /// Answers whose digest diverged from the sequential oracle (must be
+    /// zero — counted rather than panicking so the report can say so).
+    pub wrong_answers: u64,
+    /// Queries served by the degraded (sequential-fallback) path.
+    pub degraded: u64,
+    /// Median query latency in nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile query latency in nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Worst query latency in nanoseconds.
+    pub max_latency_ns: u64,
+    /// Mean query latency in nanoseconds.
+    pub mean_latency_ns: u64,
+    /// Queries per second over the measured window.
+    pub qps: f64,
+    /// Whether the results cache was enabled.
+    pub cache_enabled: bool,
+    /// Results-cache hits (0 when disabled).
+    pub cache_hits: u64,
+    /// Results-cache misses (0 when disabled).
+    pub cache_misses: u64,
+    /// Per-key traffic.
+    pub per_key: Vec<KeyTraffic>,
+}
+
+impl ServeReport {
+    /// Cache hit rate in `[0, 1]` (0 when the cache was disabled or no
+    /// query ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+
+    /// Validates the report: the run must have answered queries, answered
+    /// them correctly, and produced finite, ordered latency numbers.
+    /// Returns the problems found (empty = valid) — the `serve-gate` CI job
+    /// exits non-zero on any.
+    pub fn schema_problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let label = format!("dataset {}", self.dataset);
+        if self.clients == 0 {
+            problems.push(format!("{label}: zero clients"));
+        }
+        if self.total_queries == 0 {
+            problems.push(format!("{label}: no query completed"));
+        }
+        if self.wrong_answers != 0 {
+            problems.push(format!(
+                "{label}: {} answers diverged from the sequential oracle",
+                self.wrong_answers
+            ));
+        }
+        if self.total_queries > 0 {
+            for (name, v) in [
+                ("p50_latency_ns", self.p50_latency_ns),
+                ("p99_latency_ns", self.p99_latency_ns),
+                ("max_latency_ns", self.max_latency_ns),
+                ("mean_latency_ns", self.mean_latency_ns),
+            ] {
+                if v == 0 {
+                    problems.push(format!("{label}: {name} is zero"));
+                }
+            }
+            if !(self.p50_latency_ns <= self.p99_latency_ns
+                && self.p99_latency_ns <= self.max_latency_ns)
+            {
+                problems.push(format!(
+                    "{label}: latency percentiles out of order (p50 {} / p99 {} / max {})",
+                    self.p50_latency_ns, self.p99_latency_ns, self.max_latency_ns
+                ));
+            }
+        }
+        if !self.qps.is_finite() || self.qps <= 0.0 {
+            problems.push(format!("{label}: invalid qps {}", self.qps));
+        }
+        let rate = self.cache_hit_rate();
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            problems.push(format!("{label}: invalid cache hit rate {rate}"));
+        }
+        if self.cache_enabled && self.cache_hits + self.cache_misses != self.total_queries {
+            problems.push(format!(
+                "{label}: cache probes ({} + {}) do not reconcile with {} queries",
+                self.cache_hits, self.cache_misses, self.total_queries
+            ));
+        }
+        let key_sum: u64 = self.per_key.iter().map(|k| k.queries).sum();
+        if key_sum != self.total_queries {
+            problems.push(format!(
+                "{label}: per-key traffic sums to {key_sum}, expected {}",
+                self.total_queries
+            ));
+        }
+        problems
+    }
+
+    /// Renders the report as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "SERVE (dataset {}, scale {:.3}): {} clients x {}ms against one {}-thread engine (mix {})\n",
+            self.dataset, self.scale, self.clients, self.duration_ms, self.threads,
+            self.mix.name()
+        ));
+        out.push_str(&format!(
+            "  {} queries in {:.1}ms -> {:.0} qps | latency p50 {:.3}ms p99 {:.3}ms max {:.3}ms\n",
+            self.total_queries,
+            self.elapsed_ns as f64 / 1e6,
+            self.qps,
+            self.p50_latency_ns as f64 / 1e6,
+            self.p99_latency_ns as f64 / 1e6,
+            self.max_latency_ns as f64 / 1e6,
+        ));
+        out.push_str(&format!(
+            "  results cache: {} ({} hits / {} misses, hit rate {:.1}%) | degraded {} | wrong answers {}\n",
+            if self.cache_enabled { "on" } else { "off" },
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.degraded,
+            self.wrong_answers,
+        ));
+        for k in &self.per_key {
+            out.push_str(&format!(
+                "    {:<23} l={} {:>8} queries\n",
+                k.task.name(),
+                k.cfg.sequence_length,
+                k.queries
+            ));
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one closed-loop load test: prepares the dataset, computes the
+/// oracle digest for every key of the mix, then lets `clients` threads
+/// query one shared engine until the duration elapses.
+pub fn run_serve(cfg: ServeConfig) -> ServeReport {
+    let prepared = prepare_dataset(cfg.dataset, cfg.scale);
+    let keys = cfg.mix.keys();
+
+    // Oracle digests, computed before the clock starts: serving must be
+    // *provably* correct under load, not just fast.
+    let oracle: Vec<u64> = keys
+        .iter()
+        .map(|&(task, c)| {
+            tadoc::apps::run_task(&prepared.archive, &prepared.dag, task, c)
+                .output
+                .digest()
+        })
+        .collect();
+
+    let engine = Engine::builder(&prepared.archive, &prepared.dag)
+        .threads(cfg.threads)
+        .results_cache(cfg.results_cache)
+        .build()
+        .expect("serve engine configuration is valid");
+
+    struct ClientLog {
+        latencies_ns: Vec<u64>,
+        per_key: Vec<u64>,
+        wrong: u64,
+        degraded: u64,
+    }
+
+    let started = Instant::now();
+    let logs: Vec<ClientLog> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let engine = &engine;
+                let keys = &keys;
+                let oracle = &oracle;
+                s.spawn(move || {
+                    let mut log = ClientLog {
+                        latencies_ns: Vec::new(),
+                        per_key: vec![0u64; keys.len()],
+                        wrong: 0,
+                        degraded: 0,
+                    };
+                    // Offset by client id so different keys overlap in
+                    // flight from the first instant.
+                    let mut next = c % keys.len();
+                    while started.elapsed() < cfg.duration {
+                        let (task, task_cfg) = keys[next];
+                        let t = Instant::now();
+                        let exec = engine
+                            .run(task, task_cfg)
+                            .expect("serve task configs are valid");
+                        log.latencies_ns.push(t.elapsed().as_nanos().max(1) as u64);
+                        if exec.output.digest() != oracle[next] {
+                            log.wrong += 1;
+                        }
+                        if exec.timings.degraded.is_some() {
+                            log.degraded += 1;
+                        }
+                        log.per_key[next] += 1;
+                        next = (next + 1) % keys.len();
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve client panicked"))
+            .collect()
+    });
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut per_key = vec![0u64; keys.len()];
+    let (mut wrong, mut degraded) = (0u64, 0u64);
+    for log in logs {
+        latencies.extend(log.latencies_ns);
+        wrong += log.wrong;
+        degraded += log.degraded;
+        for (k, n) in log.per_key.into_iter().enumerate() {
+            per_key[k] += n;
+        }
+    }
+    latencies.sort_unstable();
+    let total_queries = latencies.len() as u64;
+    let mean = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / total_queries
+    };
+    let (cache_hits, cache_misses) = engine.results_cache_counters().unwrap_or((0, 0));
+
+    ServeReport {
+        dataset: format!("{:?}", prepared.id),
+        scale: cfg.scale.0,
+        clients: cfg.clients,
+        threads: cfg.threads,
+        duration_ms: cfg.duration.as_millis() as u64,
+        elapsed_ns,
+        mix: cfg.mix,
+        total_queries,
+        wrong_answers: wrong,
+        degraded,
+        p50_latency_ns: percentile(&latencies, 50.0),
+        p99_latency_ns: percentile(&latencies, 99.0),
+        max_latency_ns: latencies.last().copied().unwrap_or(0),
+        mean_latency_ns: mean,
+        qps: total_queries as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        cache_enabled: cfg.results_cache,
+        cache_hits,
+        cache_misses,
+        per_key: keys
+            .iter()
+            .zip(per_key)
+            .map(|(&(task, c), queries)| KeyTraffic {
+                task,
+                cfg: c,
+                queries,
+            })
+            .collect(),
+    }
+}
+
+/// Notes committed alongside the serving numbers.
+pub const SERVE_NOTES: &[&str] = &[
+    "Closed-loop load: each client thread submits one query, waits for the \
+     answer, and immediately submits the next, so offered load scales with \
+     measured latency (no open-loop queue buildup).",
+    "All clients share ONE Engine: the first query of each (task, cfg) key \
+     fills the once-filled analysis layer, repeats are served warm, and \
+     with the results cache on, repeats of a whole key are answered without \
+     executing anything.",
+    "The runner is a single time-sliced core: qps and latency percentiles \
+     measure the concurrency *machinery* (admission, publication, leasing), \
+     not parallel speedup.",
+    "Every answer is digest-checked against the sequential oracle computed \
+     before the clock started; wrong_answers must be 0 for the report to \
+     validate.",
+];
+
+/// Renders serve reports as the machine-readable `BENCH_serve.json`.
+pub fn serve_json(reports: &[ServeReport]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"serve\",\n  \"unit\": \"ns\",\n  \"notes\": [\n");
+    for (i, note) in SERVE_NOTES.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\"{}\n",
+            note.replace('"', "\\\""),
+            if i + 1 == SERVE_NOTES.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"runs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"scale\": {:.3},\n      \"clients\": {},\n      \"threads\": {},\n      \"duration_ms\": {},\n      \"elapsed_ns\": {},\n      \"mix\": \"{}\",\n      \"total_queries\": {},\n      \"wrong_answers\": {},\n      \"degraded\": {},\n      \"qps\": {:.3},\n      \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}},\n      \"results_cache\": {{\"enabled\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n      \"per_key\": [\n",
+            r.dataset,
+            r.scale,
+            r.clients,
+            r.threads,
+            r.duration_ms,
+            r.elapsed_ns,
+            r.mix.name(),
+            r.total_queries,
+            r.wrong_answers,
+            r.degraded,
+            r.qps,
+            r.p50_latency_ns,
+            r.p99_latency_ns,
+            r.max_latency_ns,
+            r.mean_latency_ns,
+            r.cache_enabled,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_hit_rate(),
+        ));
+        for (j, k) in r.per_key.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"task\": \"{}\", \"sequence_length\": {}, \"queries\": {}}}{}\n",
+                k.task.name(),
+                k.cfg.sequence_length,
+                k.queries,
+                if j + 1 == r.per_key.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ServeReport {
+        ServeReport {
+            dataset: "A".to_string(),
+            scale: 0.05,
+            clients: 2,
+            threads: 2,
+            duration_ms: 50,
+            elapsed_ns: 50_000_000,
+            mix: ServeMix::All,
+            total_queries: 10,
+            wrong_answers: 0,
+            degraded: 0,
+            p50_latency_ns: 1_000,
+            p99_latency_ns: 2_000,
+            max_latency_ns: 3_000,
+            mean_latency_ns: 1_200,
+            qps: 200.0,
+            cache_enabled: true,
+            cache_hits: 2,
+            cache_misses: 8,
+            per_key: vec![KeyTraffic {
+                task: Task::WordCount,
+                cfg: TaskConfig::default(),
+                queries: 10,
+            }],
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let lat = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&lat, 50.0), 50);
+        assert_eq!(percentile(&lat, 99.0), 100);
+        assert_eq!(percentile(&lat, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn schema_accepts_a_valid_report_and_rejects_broken_ones() {
+        assert!(tiny_report().schema_problems().is_empty());
+
+        let mut no_queries = tiny_report();
+        no_queries.total_queries = 0;
+        no_queries.per_key[0].queries = 0;
+        no_queries.cache_hits = 0;
+        no_queries.cache_misses = 0;
+        assert!(!no_queries.schema_problems().is_empty());
+
+        let mut wrong = tiny_report();
+        wrong.wrong_answers = 1;
+        assert!(wrong
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("diverged")));
+
+        let mut disordered = tiny_report();
+        disordered.p50_latency_ns = 5_000;
+        assert!(disordered
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("out of order")));
+
+        let mut bad_probes = tiny_report();
+        bad_probes.cache_hits = 0;
+        assert!(bad_probes
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("reconcile")));
+    }
+
+    #[test]
+    fn serve_json_contains_every_gate_checked_field() {
+        let json = serve_json(&[tiny_report()]);
+        for field in [
+            "\"p50_ns\"",
+            "\"p99_ns\"",
+            "\"max_ns\"",
+            "\"qps\"",
+            "\"hit_rate\"",
+            "\"total_queries\"",
+            "\"wrong_answers\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn mixes_expose_distinct_nonempty_key_sets() {
+        for mix in [ServeMix::All, ServeMix::Counting, ServeMix::Sequences] {
+            assert!(!mix.keys().is_empty());
+            assert_eq!(ServeMix::parse(mix.name()), Some(mix));
+        }
+        assert_eq!(ServeMix::parse("bogus"), None);
+        assert_ne!(ServeMix::All.keys(), ServeMix::Counting.keys());
+    }
+
+    /// A miniature end-to-end run: tiny dataset, short window — the report
+    /// must validate and reconcile.
+    #[test]
+    fn miniature_serve_run_produces_a_valid_report() {
+        let report = run_serve(ServeConfig {
+            dataset: DatasetId::A,
+            scale: ExperimentScale(0.02),
+            clients: 2,
+            threads: 2,
+            duration: Duration::from_millis(120),
+            mix: ServeMix::All,
+            results_cache: true,
+        });
+        let problems = report.schema_problems();
+        assert!(problems.is_empty(), "schema problems: {problems:?}");
+        assert!(report.total_queries > 0);
+        assert_eq!(report.wrong_answers, 0);
+    }
+}

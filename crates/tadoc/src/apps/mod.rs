@@ -76,7 +76,7 @@ impl Task {
 }
 
 /// Per-task configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskConfig {
     /// Sequence length `l` for sequence-sensitive tasks (3 in the paper's
     /// "counting three continuous word sequences" example).

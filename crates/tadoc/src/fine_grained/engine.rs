@@ -38,19 +38,21 @@
 
 use super::exec::{Abort, WorkerPool};
 use super::head_tail::{build_head_tail, levels_bottom_up, levels_top_down, HeadTail};
+use super::scratch::ScratchPool;
 use super::{
     build_term_vector_prep, parallel_file_weights, parallel_rule_weights, root_chunks,
     run_fine_with_cache, sequence_work_items, ExecutionMode, FileWeightLists, FineGrainedConfig,
-    SeqItem, TermVectorPrep,
+    SeqItem, TermVectorPrep, TvScratch,
 };
 use crate::apps::{run_task, Task, TaskConfig, TaskExecution};
 use crate::parallel::{run_task_parallel, ParallelConfig};
-use crate::timing::{Degradation, Timer, WorkStats};
+use crate::results::AnalyticsOutput;
+use crate::timing::{Degradation, PhaseTimings, ResultsCacheStats, Timer, WorkStats};
 use crate::weights::file_segments;
 use sequitur::fxhash::FxHashMap;
 use sequitur::{Dag, Grammar, TadocArchive};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -298,19 +300,35 @@ impl From<Task> for TaskSpec {
 }
 
 // ---------------------------------------------------------------------------
-// The session cache
+// The analysis layer (immutable, once-filled) and per-query charge
 // ---------------------------------------------------------------------------
 
-/// What one run charged the cache for: the time and work spent *computing*
-/// shared artifacts this run (both zero on a fully warm run).
+/// What one query charged for shared-artifact computation: the time and work
+/// it spent *filling* analysis cells (both zero on a fully warm query).
+///
+/// The charge is **per-query local** — each task path owns one on its stack
+/// and threads it through the `ensure_*` calls — so concurrent queries never
+/// share accounting state, and a faulted query's charge simply unwinds with
+/// it (nothing to reset).  A query that *waits* on another query's in-flight
+/// fill comes out warm: only the thread whose closure ran inside the
+/// `OnceLock` pays (and records) the cost.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct RunCharge {
-    /// Wall-clock spent computing shared artifacts this run.
+    /// Wall-clock spent computing shared artifacts this query.
     pub(crate) time: Duration,
-    /// Work performed computing shared artifacts this run.
+    /// Work performed computing shared artifacts this query.
     pub(crate) work: WorkStats,
-    /// Whether any artifact was computed (false ⇒ the run was warm).
+    /// Whether any artifact was computed (false ⇒ the query was warm).
     pub(crate) computed: bool,
+}
+
+impl RunCharge {
+    /// Records that `time`/`work` was spent filling an analysis cell.
+    fn note(&mut self, time: Duration, work: WorkStats) {
+        self.time += time;
+        self.work.merge(&work);
+        self.computed = true;
+    }
 }
 
 /// Maximum distinct sequence lengths whose head/tail buffers a session
@@ -319,200 +337,321 @@ pub(crate) struct RunCharge {
 /// memory without ever evicting on realistic workloads.
 const HEAD_TAIL_CACHE_CAP: usize = 8;
 
-/// The lazily-filled analysis layer of a session.  Every field is derived
-/// purely from the borrowed archive/DAG (plus the engine-fixed thread count
-/// and chunk threshold), so nothing ever needs invalidating: the borrow
-/// guarantees the archive cannot change while the session lives.
-///
-/// The `.expect("… ensured")` sites here and in the task paths are
-/// unreachable by construction: each one is dominated by the `ensure_*`
-/// call that fills the field, and the fills are panic-atomic (the artifact
-/// is computed into a local and assigned only on success), so a faulted run
-/// can never leave a half-filled field behind for the next query to trip
-/// on.
+/// The head/tail slot table: per sequence length `l`, an `Arc`'d `OnceLock`
+/// cell.  The *table* mutex is held only for map lookup/insert/eviction;
+/// the *fill* runs inside the cell's `get_or_init`, outside the table lock,
+/// so two queries filling different lengths never serialize on each other.
 #[derive(Default)]
-pub(crate) struct SessionCache {
-    /// Top-down DAG level schedule (root layer first).
-    pub(crate) levels_top_down: Option<Vec<Vec<u32>>>,
-    /// Bottom-up DAG level schedule (deepest layer first).
-    pub(crate) levels_bottom_up: Option<Vec<Vec<u32>>>,
-    /// Root file segments (`file_segments`).
-    pub(crate) segments: Option<Vec<(usize, usize)>>,
-    /// Rule weights (top-down propagation).
-    pub(crate) rule_weights: Option<Vec<u64>>,
-    /// Per-rule `(file, occurrences)` lists (top-down pull propagation).
-    pub(crate) file_weights: Option<FileWeightLists>,
-    /// Local-word-list chunks of every rule (wordCount / sort item space).
-    pub(crate) word_chunks: Option<Vec<super::exec::Chunk>>,
-    /// Non-root local-word chunks + root segment chunks (invertedIndex
-    /// item space).
-    pub(crate) index_chunks: Option<(Vec<super::exec::Chunk>, Vec<super::sequences::RootChunk>)>,
-    /// Term-vector initialization product (file-major CSR + worker ranges).
-    pub(crate) term_vector: Option<TermVectorPrep>,
-    /// Head/tail buffers keyed by sequence length `l` — the only per-query
-    /// knob that shapes a shared artifact.  Bounded at
-    /// [`HEAD_TAIL_CACHE_CAP`] entries (FIFO eviction via
-    /// `head_tail_order`): a serving deployment accepting user-supplied
-    /// `l` values must not grow memory monotonically with every distinct
-    /// length ever queried.
-    pub(crate) head_tail: FxHashMap<usize, HeadTail>,
-    /// Insertion order of `head_tail` keys, oldest first.
-    head_tail_order: Vec<usize>,
-    /// Rule-body/root chunks of the sequence traversals.
-    pub(crate) sequence_items: Option<Vec<SeqItem>>,
-    /// The current run's charge (drained by [`Self::take_charge`]).
-    charge: RunCharge,
+struct HeadTailSlots {
+    map: FxHashMap<usize, Arc<OnceLock<HeadTail>>>,
+    /// Insertion order of `map` keys, oldest first (FIFO eviction).
+    order: Vec<usize>,
 }
 
-impl SessionCache {
-    /// Records that `time`/`work` was spent computing an artifact this run.
-    fn note(&mut self, time: Duration, work: WorkStats) {
-        self.charge.time += time;
-        self.charge.work.merge(&work);
-        self.charge.computed = true;
-    }
+/// The immutable, once-filled analysis layer of a session — everything
+/// derived purely from the borrowed archive/DAG (plus the engine-fixed
+/// thread count and chunk threshold), so nothing ever needs invalidating:
+/// the borrow guarantees the archive cannot change while the session lives.
+///
+/// **Publication contract.**  Every artifact lives in a [`OnceLock`]:
+/// concurrent first-touch races fill **exactly once** (losers block until
+/// the winner's value is published, then read it), a filling closure that
+/// panics leaves the cell empty (the next query simply retries — the
+/// degrade ladder relies on this panic-atomicity), and once a cell is
+/// filled its contents are never written again, so queries read it with no
+/// synchronization beyond the `OnceLock`'s own acquire load.  The
+/// [`fills`](Self::fills) counter increments once per executed fill closure
+/// — [`Engine::analysis_fills`] exposes it so tests can prove "filled
+/// exactly once" under thundering-herd load.
+///
+/// The `.expect("… ensured")` sites in the task paths are unreachable by
+/// construction: each is dominated by the `ensure_*` call that fills (or
+/// waits for) the cell.
+#[derive(Default)]
+pub(crate) struct Analysis {
+    /// Top-down DAG level schedule (root layer first).
+    levels_top_down: OnceLock<Vec<Vec<u32>>>,
+    /// Bottom-up DAG level schedule (deepest layer first).
+    levels_bottom_up: OnceLock<Vec<Vec<u32>>>,
+    /// Root file segments (`file_segments`).
+    segments: OnceLock<Vec<(usize, usize)>>,
+    /// Rule weights (top-down propagation).
+    rule_weights: OnceLock<Vec<u64>>,
+    /// Per-rule `(file, occurrences)` lists (top-down pull propagation).
+    file_weights: OnceLock<FileWeightLists>,
+    /// Local-word-list chunks of every rule (wordCount / sort item space).
+    word_chunks: OnceLock<Vec<super::exec::Chunk>>,
+    /// Non-root local-word chunks + root segment chunks (invertedIndex
+    /// item space).
+    index_chunks: OnceLock<(Vec<super::exec::Chunk>, Vec<super::sequences::RootChunk>)>,
+    /// Term-vector initialization product (file-major CSR + file costs).
+    term_vector: OnceLock<TermVectorPrep>,
+    /// Head/tail buffers keyed by sequence length `l` — the only per-query
+    /// knob that shapes a shared artifact.  Bounded at
+    /// [`HEAD_TAIL_CACHE_CAP`] entries (FIFO eviction): a serving
+    /// deployment accepting user-supplied `l` values must not grow memory
+    /// monotonically with every distinct length ever queried.  Evicted
+    /// entries stay alive (via the `Arc`) for any query still reading them.
+    head_tail: Mutex<HeadTailSlots>,
+    /// Sequence-task work items (rule-body chunks + root chunks).
+    sequence_items: OnceLock<Vec<SeqItem>>,
+    /// Fill closures executed — one per computed artifact, never counting
+    /// waiters or warm hits.
+    fills: AtomicU64,
+}
 
-    /// Drains the charge accumulated since the previous call — called once
-    /// per run at the end of its init phase.
-    pub(crate) fn take_charge(&mut self) -> RunCharge {
-        std::mem::take(&mut self.charge)
-    }
-
-    pub(crate) fn ensure_levels_top_down(&mut self, dag: &Dag) {
-        if self.levels_top_down.is_none() {
-            let timer = Timer::start();
-            let levels = levels_top_down(dag);
-            self.note(timer.elapsed(), WorkStats::default());
-            self.levels_top_down = Some(levels);
-        }
-    }
-
-    pub(crate) fn ensure_levels_bottom_up(&mut self, dag: &Dag) {
-        if self.levels_bottom_up.is_none() {
-            let timer = Timer::start();
-            let levels = levels_bottom_up(dag);
-            self.note(timer.elapsed(), WorkStats::default());
-            self.levels_bottom_up = Some(levels);
-        }
-    }
-
-    pub(crate) fn ensure_segments(&mut self, grammar: &Grammar) {
-        if self.segments.is_none() {
-            let timer = Timer::start();
-            let segments = file_segments(grammar);
-            self.note(timer.elapsed(), WorkStats::default());
-            self.segments = Some(segments);
-        }
-    }
-
-    pub(crate) fn ensure_rule_weights(&mut self, dag: &Dag, pool: &WorkerPool) {
-        self.ensure_levels_top_down(dag);
-        if self.rule_weights.is_none() {
+impl Analysis {
+    /// Fills `cell` at most once, charging the computing query (and only
+    /// it) for the time and work.  Waiters block inside `get_or_init` and
+    /// come out warm.
+    fn fill<'c, T>(
+        &self,
+        cell: &'c OnceLock<T>,
+        charge: &mut RunCharge,
+        compute: impl FnOnce(&mut WorkStats) -> T,
+    ) -> &'c T {
+        cell.get_or_init(|| {
             let timer = Timer::start();
             let mut work = WorkStats::default();
-            let levels = self.levels_top_down.as_deref().expect("levels ensured");
-            let weights = parallel_rule_weights(dag, levels, pool, &mut work);
-            self.note(timer.elapsed(), work);
-            self.rule_weights = Some(weights);
-        }
+            let value = compute(&mut work);
+            charge.note(timer.elapsed(), work);
+            self.fills.fetch_add(1, Ordering::Relaxed);
+            value
+        })
     }
 
-    pub(crate) fn ensure_file_weights(&mut self, grammar: &Grammar, dag: &Dag, pool: &WorkerPool) {
-        self.ensure_levels_top_down(dag);
-        self.ensure_segments(grammar);
-        if self.file_weights.is_none() {
-            let timer = Timer::start();
-            let mut work = WorkStats::default();
-            let levels = self.levels_top_down.as_deref().expect("levels ensured");
-            let segments = self.segments.as_deref().expect("segments ensured");
-            let fw = parallel_file_weights(grammar, dag, levels, segments, pool, &mut work);
-            self.note(timer.elapsed(), work);
-            self.file_weights = Some(fw);
-        }
+    /// Number of fill closures executed so far (see the type docs).
+    pub(crate) fn fills(&self) -> u64 {
+        self.fills.load(Ordering::Relaxed)
     }
 
-    pub(crate) fn ensure_word_chunks(&mut self, dag: &Dag, fcfg: FineGrainedConfig) {
-        if self.word_chunks.is_none() {
-            let timer = Timer::start();
-            let chunks = super::exec::chunk_ranges(
+    pub(crate) fn ensure_levels_top_down(
+        &self,
+        dag: &Dag,
+        charge: &mut RunCharge,
+    ) -> &Vec<Vec<u32>> {
+        self.fill(&self.levels_top_down, charge, |_| levels_top_down(dag))
+    }
+
+    pub(crate) fn ensure_levels_bottom_up(
+        &self,
+        dag: &Dag,
+        charge: &mut RunCharge,
+    ) -> &Vec<Vec<u32>> {
+        self.fill(&self.levels_bottom_up, charge, |_| levels_bottom_up(dag))
+    }
+
+    pub(crate) fn ensure_segments(
+        &self,
+        grammar: &Grammar,
+        charge: &mut RunCharge,
+    ) -> &Vec<(usize, usize)> {
+        self.fill(&self.segments, charge, |_| file_segments(grammar))
+    }
+
+    pub(crate) fn ensure_rule_weights(
+        &self,
+        dag: &Dag,
+        pool: &WorkerPool,
+        charge: &mut RunCharge,
+    ) -> &Vec<u64> {
+        let levels = self.ensure_levels_top_down(dag, charge);
+        self.fill(&self.rule_weights, charge, |work| {
+            parallel_rule_weights(dag, levels, pool, work)
+        })
+    }
+
+    pub(crate) fn ensure_file_weights(
+        &self,
+        grammar: &Grammar,
+        dag: &Dag,
+        pool: &WorkerPool,
+        charge: &mut RunCharge,
+    ) -> &FileWeightLists {
+        let levels = self.ensure_levels_top_down(dag, charge);
+        let segments = self.ensure_segments(grammar, charge);
+        self.fill(&self.file_weights, charge, |work| {
+            parallel_file_weights(grammar, dag, levels, segments, pool, work)
+        })
+    }
+
+    pub(crate) fn ensure_word_chunks(
+        &self,
+        dag: &Dag,
+        fcfg: FineGrainedConfig,
+        charge: &mut RunCharge,
+    ) -> &Vec<super::exec::Chunk> {
+        self.fill(&self.word_chunks, charge, |_| {
+            super::exec::chunk_ranges(
                 (0..dag.num_rules).map(|r| dag.local_words[r].len()),
                 fcfg.chunk_elements,
-            );
-            self.note(timer.elapsed(), WorkStats::default());
-            self.word_chunks = Some(chunks);
-        }
+            )
+        })
     }
 
     pub(crate) fn ensure_index_chunks(
-        &mut self,
+        &self,
         grammar: &Grammar,
         dag: &Dag,
         fcfg: FineGrainedConfig,
-    ) {
-        self.ensure_segments(grammar);
-        if self.index_chunks.is_none() {
-            let timer = Timer::start();
+        charge: &mut RunCharge,
+    ) -> &(Vec<super::exec::Chunk>, Vec<super::sequences::RootChunk>) {
+        let segments = self.ensure_segments(grammar, charge);
+        self.fill(&self.index_chunks, charge, |_| {
             let rule_chunks = super::exec::chunk_ranges(
                 (0..dag.num_rules).map(|r| if r == 0 { 0 } else { dag.local_words[r].len() }),
                 fcfg.chunk_elements,
             );
-            let segments = self.segments.as_deref().expect("segments ensured");
             let seg_chunks = root_chunks(segments, fcfg.chunk_elements);
-            self.note(timer.elapsed(), WorkStats::default());
-            self.index_chunks = Some((rule_chunks, seg_chunks));
-        }
+            (rule_chunks, seg_chunks)
+        })
     }
 
     pub(crate) fn ensure_term_vector_prep(
-        &mut self,
+        &self,
         archive: &TadocArchive,
         dag: &Dag,
         fcfg: FineGrainedConfig,
         pool: &WorkerPool,
-    ) {
-        self.ensure_segments(&archive.grammar);
-        if self.term_vector.is_none() {
-            let timer = Timer::start();
-            let mut work = WorkStats::default();
-            let segments = self.segments.as_deref().expect("segments ensured");
-            let prep = build_term_vector_prep(archive, dag, segments, fcfg, pool, &mut work);
-            self.note(timer.elapsed(), work);
-            self.term_vector = Some(prep);
-        }
+        charge: &mut RunCharge,
+    ) -> &TermVectorPrep {
+        let segments = self.ensure_segments(&archive.grammar, charge);
+        self.fill(&self.term_vector, charge, |work| {
+            build_term_vector_prep(archive, dag, segments, fcfg, pool, work)
+        })
     }
 
+    /// Returns the (filled) head/tail cell for sequence length `l`.  The
+    /// `Arc` keeps the buffers alive for this query even if a concurrent
+    /// query's distinct `l` evicts the table entry mid-flight.
     pub(crate) fn ensure_head_tail(
-        &mut self,
+        &self,
         grammar: &Grammar,
         dag: &Dag,
         l: usize,
         pool: &WorkerPool,
-    ) {
-        self.ensure_levels_bottom_up(dag);
-        if !self.head_tail.contains_key(&l) {
+        charge: &mut RunCharge,
+    ) -> Arc<OnceLock<HeadTail>> {
+        let levels = self.ensure_levels_bottom_up(dag, charge);
+        let cell = {
+            let mut slots = self
+                .head_tail
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match slots.map.get(&l) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    if slots.order.len() >= HEAD_TAIL_CACHE_CAP {
+                        let oldest = slots.order.remove(0);
+                        slots.map.remove(&oldest);
+                    }
+                    let cell = Arc::new(OnceLock::new());
+                    slots.map.insert(l, Arc::clone(&cell));
+                    slots.order.push(l);
+                    cell
+                }
+            }
+        };
+        cell.get_or_init(|| {
             let timer = Timer::start();
             let mut work = WorkStats::default();
-            let levels = self.levels_bottom_up.as_deref().expect("levels ensured");
             let ht = build_head_tail(grammar, dag, levels, l, pool, &mut work);
-            self.note(timer.elapsed(), work);
-            if self.head_tail_order.len() >= HEAD_TAIL_CACHE_CAP {
-                let oldest = self.head_tail_order.remove(0);
-                self.head_tail.remove(&oldest);
-            }
-            self.head_tail.insert(l, ht);
-            self.head_tail_order.push(l);
+            charge.note(timer.elapsed(), work);
+            self.fills.fetch_add(1, Ordering::Relaxed);
+            ht
+        });
+        cell
+    }
+
+    pub(crate) fn ensure_sequence_items(
+        &self,
+        grammar: &Grammar,
+        fcfg: FineGrainedConfig,
+        charge: &mut RunCharge,
+    ) -> &Vec<SeqItem> {
+        let segments = self.ensure_segments(grammar, charge);
+        self.fill(&self.sequence_items, charge, |_| {
+            sequence_work_items(grammar, segments, fcfg.chunk_elements)
+        })
+    }
+}
+
+/// The borrowed context a fine-grained task path runs against: the fixed
+/// configuration, the shared [`Analysis`] layer, and the scratch pool the
+/// term-vector path leases its dense regions from.  `Copy` by design — the
+/// dispatch clones it freely into every task function.
+#[derive(Clone, Copy)]
+pub(crate) struct FineCtx<'e> {
+    pub(crate) fcfg: FineGrainedConfig,
+    pub(crate) analysis: &'e Analysis,
+    pub(crate) tv_scratch: &'e ScratchPool<Vec<TvScratch>>,
+}
+
+// ---------------------------------------------------------------------------
+// The results cache
+// ---------------------------------------------------------------------------
+
+/// Maximum distinct `(Task, TaskConfig)` keys the results cache holds; a
+/// full cache stops inserting (the working set of a serving mix is tiny —
+/// six tasks × a handful of sequence lengths — so eviction buys nothing).
+const RESULTS_CACHE_CAP: usize = 256;
+
+/// Whole-output memoization keyed by `(Task, TaskConfig)` — sound because
+/// the archive is immutable for the engine's lifetime and every mode is
+/// deterministic for a fixed key.  Exact-key semantics: distinct configs
+/// never alias (the full `TaskConfig` is the key, even for tasks that
+/// ignore `sequence_length`).  Opt-in via [`EngineBuilder::results_cache`];
+/// degraded results are never inserted (a degraded answer is
+/// oracle-identical, but its *provenance* is not worth caching — the next
+/// query should retake the fine path).
+///
+/// Concurrent misses on the same key may compute the output twice and both
+/// insert (last write wins, values identical by determinism); the counters
+/// therefore reconcile as *probes* — `hits + misses == lookups` always,
+/// `misses == distinct keys` only without concurrent same-key races.
+#[derive(Default)]
+struct ResultsCache {
+    map: Mutex<FxHashMap<(Task, TaskConfig), AnalyticsOutput>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultsCache {
+    /// Probes the cache, counting the probe as a hit or miss.
+    fn lookup(&self, task: Task, cfg: TaskConfig) -> Option<AnalyticsOutput> {
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(task, cfg))
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a clean (non-degraded) output, unless the cache is full.
+    fn insert(&self, task: Task, cfg: TaskConfig, output: AnalyticsOutput) {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if map.len() < RESULTS_CACHE_CAP || map.contains_key(&(task, cfg)) {
+            map.insert((task, cfg), output);
         }
     }
 
-    pub(crate) fn ensure_sequence_items(&mut self, grammar: &Grammar, fcfg: FineGrainedConfig) {
-        self.ensure_segments(grammar);
-        if self.sequence_items.is_none() {
-            let timer = Timer::start();
-            let segments = self.segments.as_deref().expect("segments ensured");
-            let items = sequence_work_items(grammar, segments, fcfg.chunk_elements);
-            self.note(timer.elapsed(), WorkStats::default());
-            self.sequence_items = Some(items);
-        }
+    /// `(hits, misses)` counters.
+    fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The per-query stats snapshot attached to [`PhaseTimings`].
+    fn stats(&self, hit: bool) -> ResultsCacheStats {
+        let (hits, misses) = self.counters();
+        ResultsCacheStats { hit, hits, misses }
     }
 }
 
@@ -541,6 +680,7 @@ pub struct EngineBuilder<'a> {
     kind: ModeKind,
     num_threads: usize,
     chunk_elements: usize,
+    results_cache: bool,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -592,6 +732,19 @@ impl<'a> EngineBuilder<'a> {
         self
     }
 
+    /// Enables whole-output memoization keyed by `(Task, TaskConfig)` —
+    /// sound because the archive is immutable for the session's lifetime.
+    /// Off by default: repeated identical queries then re-run the (still
+    /// analysis-warm) compute path, which is what benchmarks and
+    /// epoch-accounting tests expect.  Serving deployments with repetitive
+    /// query mixes should turn it on; hit/miss counters surface through
+    /// [`PhaseTimings::results_cache`](crate::timing::PhaseTimings::results_cache)
+    /// and [`Engine::results_cache_counters`].
+    pub fn results_cache(mut self, enabled: bool) -> Self {
+        self.results_cache = enabled;
+        self
+    }
+
     /// Validates the configuration **and the archive/DAG structure**, then
     /// builds the engine, spawning the persistent worker pool for the fine
     /// mode.
@@ -623,9 +776,12 @@ impl<'a> EngineBuilder<'a> {
                 };
                 EngineInner::Fine(Box::new(FineState {
                     fcfg,
-                    pool: WorkerPool::new(fcfg.num_threads),
-                    cache: SessionCache::default(),
-                    epochs_retired: 0,
+                    exec: Mutex::new(ExecState {
+                        pool: WorkerPool::new(fcfg.num_threads),
+                        epochs_retired: 0,
+                    }),
+                    analysis: Analysis::default(),
+                    tv_scratch: ScratchPool::default(),
                 }))
             }
         };
@@ -633,6 +789,7 @@ impl<'a> EngineBuilder<'a> {
             archive: self.archive,
             dag: self.dag,
             inner,
+            results: self.results_cache.then(ResultsCache::default),
         })
     }
 }
@@ -671,17 +828,34 @@ fn validate_archive(archive: &TadocArchive, dag: &Dag) -> Result<(), EngineError
 // Engine
 // ---------------------------------------------------------------------------
 
+/// The execution half of the fine mode's state — the admission point.
+///
+/// **Admission contract**: one query at a time owns the shared persistent
+/// pool, claimed with `try_lock` (never blocking).  A query that finds the
+/// pool busy runs **inline** on a transient single-worker pool (zero helper
+/// threads: the calling thread executes every chunk itself).  Contended
+/// queries therefore trade parallel speedup for immediate admission — no
+/// queueing, no convoy, bounded latency — and the transient pool's epochs
+/// are folded into `epochs_retired` afterwards so [`Engine::epochs`] stays
+/// monotonic over *all* dispatched epochs.  Cancellation/deadline control
+/// installs on whichever pool the query exclusively holds.
+struct ExecState {
+    pool: WorkerPool,
+    /// Epochs dispatched by pools this session has already retired — healed
+    /// after poisoning, or transient inline pools after a contended query.
+    epochs_retired: u64,
+}
+
 /// The fine mode's owned state, boxed to keep [`EngineInner`]'s variants
-/// near the same size (the cache alone is several hundred bytes of
-/// `Option`s and a map).
+/// near the same size.  Split by mutability: `exec` (the pool) is the one
+/// exclusively-held piece, `analysis` is immutable-once-filled and shared
+/// by every concurrent query, `tv_scratch` leases per-query mutable
+/// regions.
 struct FineState {
     fcfg: FineGrainedConfig,
-    pool: WorkerPool,
-    cache: SessionCache,
-    /// Epochs dispatched by pools this session has already retired (healed
-    /// after poisoning).  Added to the live pool's count so
-    /// [`Engine::epochs`] stays strictly increasing across heal cycles.
-    epochs_retired: u64,
+    exec: Mutex<ExecState>,
+    analysis: Analysis,
+    tv_scratch: ScratchPool<Vec<TvScratch>>,
 }
 
 enum EngineInner {
@@ -690,15 +864,27 @@ enum EngineInner {
     Fine(Box<FineState>),
 }
 
-/// A long-lived execution session over one compressed archive.
+/// A long-lived, **concurrently shareable** execution session over one
+/// compressed archive.
 ///
 /// The engine borrows the archive and DAG for its whole lifetime and owns
-/// the persistent [`WorkerPool`] plus the lazily-filled analysis cache, so
+/// the persistent [`WorkerPool`] plus the once-filled analysis layer, so
 /// repeated queries pay the shared initialization (DAG levels, rule/file
 /// weights, head/tail buffers, chunk decompositions, the term-vector CSR)
 /// **once** instead of once per call.  Outputs are byte-identical to the
 /// one-shot paths; only the amortization differs, and it is observable via
 /// [`PhaseTimings::shared_init`] / [`PhaseTimings::warm`].
+///
+/// Every query method takes `&self`, and `Engine` is [`Sync`]: N client
+/// threads may query one shared engine simultaneously
+/// (`std::thread::scope` plus `&engine` is all it takes).  Concurrent
+/// queries share the analysis
+/// layer (first toucher fills, everyone else reads), lease any mutable
+/// scratch from a typed pool, and contend only for the worker pool itself.
+/// The admission contract: one query at a time owns the shared pool
+/// (claimed with a non-blocking `try_lock`); a query finding it busy runs
+/// inline on a transient single-worker pool rather than queueing, trading
+/// parallel speedup for immediate admission and bounded latency.
 ///
 /// ```
 /// use sequitur::compress::{compress_corpus, CompressOptions};
@@ -714,8 +900,8 @@ enum EngineInner {
 /// let dag = Dag::from_grammar(&archive.grammar);
 ///
 /// // One session, many queries: the second word count is served from the
-/// // warm cache (no shared-artifact work at all).
-/// let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+/// // warm analysis layer (no shared-artifact work at all).
+/// let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
 /// let cold = engine.run(Task::WordCount, TaskConfig::default()).unwrap();
 /// let warm = engine.run(Task::WordCount, TaskConfig::default()).unwrap();
 /// assert_eq!(cold.output, warm.output);
@@ -723,9 +909,15 @@ enum EngineInner {
 /// assert!(warm.timings.warm);
 /// assert!(warm.timings.shared_init.is_zero());
 ///
-/// // Batched queries share prerequisites through the same cache.
+/// // Batched queries share prerequisites through the same analysis layer,
+/// // and concurrent clients can share the engine by reference.
 /// let execs = engine.run_all(&TaskSpec::all()).unwrap();
 /// assert_eq!(execs.len(), 6);
+/// std::thread::scope(|s| {
+///     for _ in 0..2 {
+///         s.spawn(|| engine.run(Task::WordCount, TaskConfig::default()).unwrap());
+///     }
+/// });
 /// ```
 ///
 /// [`PhaseTimings::shared_init`]: crate::timing::PhaseTimings::shared_init
@@ -734,6 +926,8 @@ pub struct Engine<'a> {
     archive: &'a TadocArchive,
     dag: &'a Dag,
     inner: EngineInner,
+    /// Whole-output memoization, present when the builder enabled it.
+    results: Option<ResultsCache>,
 }
 
 impl<'a> Engine<'a> {
@@ -747,6 +941,7 @@ impl<'a> Engine<'a> {
             kind: ModeKind::Fine,
             num_threads: defaults.num_threads,
             chunk_elements: defaults.chunk_elements,
+            results_cache: false,
         }
     }
 
@@ -764,21 +959,49 @@ impl<'a> Engine<'a> {
         self.archive
     }
 
-    /// Number of barrier epochs the session's pool has dispatched so far
-    /// (0 for the sequential/coarse modes, which own no pool).
+    /// Number of barrier epochs the session has dispatched so far across
+    /// every pool it has owned — the persistent pool, healed replacements,
+    /// and transient inline pools of contended queries (0 for the
+    /// sequential/coarse modes, which own no pool).  Strictly increasing.
     pub fn epochs(&self) -> u64 {
         match &self.inner {
-            EngineInner::Fine(state) => state.epochs_retired + state.pool.epochs(),
+            EngineInner::Fine(state) => {
+                let exec = state.exec.lock().unwrap_or_else(PoisonError::into_inner);
+                exec.epochs_retired + exec.pool.epochs()
+            }
             _ => 0,
         }
     }
 
-    /// The session's persistent worker pool (fine mode only).
-    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+    /// Runs `f` against the session's persistent worker pool (fine mode
+    /// only; `None` otherwise).  The pool is exclusively held for the
+    /// duration of `f` — a concurrent query arriving meanwhile is admitted
+    /// inline per the admission contract, never blocked.
+    pub fn with_worker_pool<R>(&self, f: impl FnOnce(&WorkerPool) -> R) -> Option<R> {
         match &self.inner {
-            EngineInner::Fine(state) => Some(&state.pool),
+            EngineInner::Fine(state) => {
+                let exec = state.exec.lock().unwrap_or_else(PoisonError::into_inner);
+                Some(f(&exec.pool))
+            }
             _ => None,
         }
+    }
+
+    /// Number of analysis-layer fill computations executed so far (0 for
+    /// the sequential/coarse modes, which keep no analysis layer).  Each
+    /// shared artifact counts once no matter how many concurrent queries
+    /// raced to first-touch it — the "filled exactly once" proof hook.
+    pub fn analysis_fills(&self) -> u64 {
+        match &self.inner {
+            EngineInner::Fine(state) => state.analysis.fills(),
+            _ => 0,
+        }
+    }
+
+    /// Cumulative results-cache `(hits, misses)`, or `None` when the cache
+    /// was not enabled at build time.
+    pub fn results_cache_counters(&self) -> Option<(u64, u64)> {
+        self.results.as_ref().map(ResultsCache::counters)
     }
 
     /// Runs one task, reusing every applicable cached artifact and caching
@@ -792,7 +1015,7 @@ impl<'a> Engine<'a> {
     /// sequence-sensitive task with `sequence_length == 0`) and the
     /// double-fault variants [`EngineError::WorkerPanicked`] /
     /// [`EngineError::ArenaCapacity`].
-    pub fn run(&mut self, task: Task, cfg: TaskConfig) -> Result<TaskExecution, EngineError> {
+    pub fn run(&self, task: Task, cfg: TaskConfig) -> Result<TaskExecution, EngineError> {
         self.run_with(task, cfg, &QueryOptions::default())
     }
 
@@ -807,7 +1030,7 @@ impl<'a> Engine<'a> {
     /// [`EngineError::Cancelled`] / [`EngineError::DeadlineExceeded`] for
     /// tripped limits, plus everything [`run`](Self::run) can return.
     pub fn run_with(
-        &mut self,
+        &self,
         task: Task,
         cfg: TaskConfig,
         opts: &QueryOptions,
@@ -824,7 +1047,22 @@ impl<'a> Engine<'a> {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return Err(EngineError::DeadlineExceeded);
         }
-        match &mut self.inner {
+        // Results-cache probe (after validation/pre-flight, so rejected
+        // queries never touch the counters): a hit synthesizes a warm
+        // execution with no compute at all.
+        if let Some(cache) = &self.results {
+            if let Some(output) = cache.lookup(task, cfg) {
+                return Ok(TaskExecution {
+                    output,
+                    timings: PhaseTimings {
+                        warm: true,
+                        results_cache: Some(cache.stats(true)),
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        let computed = match &self.inner {
             EngineInner::Sequential => Ok(run_task(self.archive, self.dag, task, cfg)),
             EngineInner::Coarse(pcfg) => {
                 Ok(run_task_parallel(self.archive, self.dag, task, cfg, *pcfg))
@@ -838,7 +1076,15 @@ impl<'a> Engine<'a> {
                 opts.cancel.as_ref().map(CancelToken::flag),
                 deadline,
             ),
+        };
+        let mut exec = computed?;
+        if let Some(cache) = &self.results {
+            if exec.timings.degraded.is_none() {
+                cache.insert(task, cfg, exec.output.clone());
+            }
+            exec.timings.results_cache = Some(cache.stats(false));
         }
+        Ok(exec)
     }
 
     /// Runs a batch of queries on the shared session, computing shared
@@ -850,7 +1096,7 @@ impl<'a> Engine<'a> {
     /// # Errors
     /// The first [`EngineError::Config`] among the specs, if any; otherwise
     /// whatever [`run`](Self::run) returns for the failing query.
-    pub fn run_all(&mut self, specs: &[TaskSpec]) -> Result<Vec<TaskExecution>, EngineError> {
+    pub fn run_all(&self, specs: &[TaskSpec]) -> Result<Vec<TaskExecution>, EngineError> {
         for spec in specs {
             if spec.task.is_sequence_sensitive() && spec.cfg.sequence_length == 0 {
                 return Err(ConfigError::ZeroSequenceLength { task: spec.task }.into());
@@ -860,52 +1106,93 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// The fine path's fault-isolation shell: runs the query on the pool inside
-/// `catch_unwind`, classifies any escaped payload, heals the pool if the
-/// fault poisoned it, and degrades to the sequential oracle path once.
-///
-/// The recovery ladder, in order:
-/// 1. [`Abort`] payloads (cancel/deadline checkpoints fired) are clean:
-///    return the matching [`EngineError`] — nothing is poisoned, no retry.
-/// 2. Anything else is a real fault.  Discard the interrupted run's cache
-///    charge (the `ensure_*` fills are panic-atomic, so cached artifacts
-///    are complete-or-absent — only the *accounting* needs resetting).
-/// 3. If the fault poisoned the pool, rebuild it (same thread count),
-///    retiring the old pool's epoch count so [`Engine::epochs`] keeps
-///    increasing monotonically.
-/// 4. Retry once on the sequential path — byte-identical output by
-///    construction — and mark the result
-///    [`degraded`](crate::timing::PhaseTimings::degraded).
-/// 5. If the sequential retry *also* faults (a double fault: the input
-///    itself is panic-shaped, not a transient), return the typed error
-///    classified from the original payload.
+/// The fine path's admission point (see [`ExecState`] for the contract):
+/// claims the shared pool with a non-blocking `try_lock`, or — when another
+/// query holds it — runs inline on a transient single-worker pool, folding
+/// the transient pool's dispatched epochs into the shared accounting
+/// afterwards so [`Engine::epochs`] stays monotonic.
 fn run_fine(
     archive: &TadocArchive,
     dag: &Dag,
     task: Task,
     cfg: TaskConfig,
-    state: &mut FineState,
+    state: &FineState,
     cancel: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
 ) -> Result<TaskExecution, EngineError> {
-    state.pool.install_control(cancel, deadline);
+    let ctx = FineCtx {
+        fcfg: state.fcfg,
+        analysis: &state.analysis,
+        tv_scratch: &state.tv_scratch,
+    };
+    match state.exec.try_lock() {
+        Ok(mut exec) => run_fine_on_pool(archive, dag, task, cfg, ctx, &mut exec, cancel, deadline),
+        Err(TryLockError::Poisoned(poisoned)) => {
+            // The ladder below never unwinds while the guard is held, so a
+            // poisoned mutex is unreachable — but heal defensively rather
+            // than asserting on a std implementation detail.
+            let mut exec = poisoned.into_inner();
+            run_fine_on_pool(archive, dag, task, cfg, ctx, &mut exec, cancel, deadline)
+        }
+        Err(TryLockError::WouldBlock) => {
+            let mut local = ExecState {
+                pool: WorkerPool::new(1),
+                epochs_retired: 0,
+            };
+            let result =
+                run_fine_on_pool(archive, dag, task, cfg, ctx, &mut local, cancel, deadline);
+            let dispatched = local.epochs_retired + local.pool.epochs();
+            state
+                .exec
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .epochs_retired += dispatched;
+            result
+        }
+    }
+}
+
+/// The fine path's fault-isolation shell: runs the query on the
+/// exclusively-held pool inside `catch_unwind`, classifies any escaped
+/// payload, heals the pool if the fault poisoned it, and degrades to the
+/// sequential oracle path once.  Faults are **per-query** by construction:
+/// the analysis fills are panic-atomic (a faulted fill leaves its cell
+/// empty), scratch leases dropped mid-unwind are discarded rather than
+/// recycled, and the query's charge is stack-local — so nothing a fault
+/// touches is visible to concurrent or subsequent queries.
+///
+/// The recovery ladder, in order:
+/// 1. [`Abort`] payloads (cancel/deadline checkpoints fired) are clean:
+///    return the matching [`EngineError`] — nothing is poisoned, no retry.
+/// 2. Anything else is a real fault.  If it poisoned the pool, rebuild it
+///    (same thread count), retiring the old pool's epoch count so
+///    [`Engine::epochs`] keeps increasing monotonically.
+/// 3. Retry once on the sequential path — byte-identical output by
+///    construction — and mark the result
+///    [`degraded`](crate::timing::PhaseTimings::degraded).
+/// 4. If the sequential retry *also* faults (a double fault: the input
+///    itself is panic-shaped, not a transient), return the typed error
+///    classified from the original payload.
+#[allow(clippy::too_many_arguments)] // internal shell mirroring the ladder's inputs
+fn run_fine_on_pool(
+    archive: &TadocArchive,
+    dag: &Dag,
+    task: Task,
+    cfg: TaskConfig,
+    ctx: FineCtx<'_>,
+    exec: &mut ExecState,
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+) -> Result<TaskExecution, EngineError> {
+    exec.pool.install_control(cancel, deadline);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_fine_with_cache(
-            archive,
-            dag,
-            task,
-            cfg,
-            state.fcfg,
-            &state.pool,
-            &mut state.cache,
-        )
+        run_fine_with_cache(archive, dag, task, cfg, ctx, &exec.pool)
     }));
-    state.pool.clear_control();
+    exec.pool.clear_control();
     let payload = match result {
-        Ok(exec) => return Ok(exec),
+        Ok(execution) => return Ok(execution),
         Err(payload) => payload,
     };
-    let _ = state.cache.take_charge();
 
     if let Some(abort) = payload.downcast_ref::<Abort>() {
         return Err(match abort {
@@ -915,21 +1202,21 @@ fn run_fine(
     }
 
     let capacity = payload.downcast_ref::<arena::CapacityError>().copied();
-    if state.pool.is_poisoned() {
-        let healed = WorkerPool::new(state.fcfg.num_threads);
-        let old = std::mem::replace(&mut state.pool, healed);
-        state.epochs_retired += old.epochs();
+    if exec.pool.is_poisoned() {
+        let healed = WorkerPool::new(exec.pool.threads());
+        let old = std::mem::replace(&mut exec.pool, healed);
+        exec.epochs_retired += old.epochs();
     }
     let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_task(archive, dag, task, cfg)
     }));
     match retry {
-        Ok(mut exec) => {
-            exec.timings.degraded = Some(match capacity {
+        Ok(mut execution) => {
+            execution.timings.degraded = Some(match capacity {
                 Some(_) => Degradation::ArenaCapacity,
                 None => Degradation::WorkerPanic,
             });
-            Ok(exec)
+            Ok(execution)
         }
         Err(_) => Err(match capacity {
             Some(error) => EngineError::ArenaCapacity { error },
@@ -1058,7 +1345,7 @@ mod tests {
     #[test]
     fn run_rejects_zero_sequence_length_with_typed_error() {
         let (archive, dag) = build_archive();
-        let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
         let cfg = TaskConfig { sequence_length: 0 };
         assert_eq!(
             engine.run(Task::SequenceCount, cfg).err(),
@@ -1085,7 +1372,7 @@ mod tests {
     #[test]
     fn pre_flight_limit_checks_reject_before_any_work() {
         let (archive, dag) = build_archive();
-        let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
         let token = CancelToken::new();
         token.cancel();
         assert!(token.is_cancelled());
@@ -1115,14 +1402,14 @@ mod tests {
         let cfg = TaskConfig::default();
         for task in Task::ALL {
             let baseline = run_task(&archive, &dag, task, cfg);
-            let mut sequential = Engine::builder(&archive, &dag).sequential().build().unwrap();
-            let mut coarse = Engine::builder(&archive, &dag)
+            let sequential = Engine::builder(&archive, &dag).sequential().build().unwrap();
+            let coarse = Engine::builder(&archive, &dag)
                 .coarse_grained()
                 .threads(3)
                 .build()
                 .unwrap();
-            let mut fine = Engine::builder(&archive, &dag).threads(3).build().unwrap();
-            for engine in [&mut sequential, &mut coarse, &mut fine] {
+            let fine = Engine::builder(&archive, &dag).threads(3).build().unwrap();
+            for engine in [&sequential, &coarse, &fine] {
                 let got = engine.run(task, cfg).unwrap();
                 assert_eq!(
                     got.output,
@@ -1139,7 +1426,7 @@ mod tests {
     fn engine_matches_one_shot_wrapper_outputs() {
         let (archive, dag) = build_archive();
         let cfg = TaskConfig::default();
-        let mut engine = Engine::builder(&archive, &dag).threads(4).build().unwrap();
+        let engine = Engine::builder(&archive, &dag).threads(4).build().unwrap();
         for task in Task::ALL {
             let via_engine = engine.run(task, cfg).unwrap();
             let via_wrapper = run_task_with_mode(
@@ -1157,7 +1444,7 @@ mod tests {
     fn warm_runs_skip_shared_initialization() {
         let (archive, dag) = build_archive();
         let cfg = TaskConfig::default();
-        let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
         for task in Task::ALL {
             let cold = engine.run(task, cfg).unwrap();
             let warm = engine.run(task, cfg).unwrap();
@@ -1180,7 +1467,7 @@ mod tests {
     #[test]
     fn distinct_sequence_lengths_get_distinct_head_tail_cache_entries() {
         let (archive, dag) = build_archive();
-        let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
         for l in [2usize, 3, 4] {
             let cfg = TaskConfig { sequence_length: l };
             let first = engine.run(Task::SequenceCount, cfg).unwrap();
@@ -1199,7 +1486,7 @@ mod tests {
     #[test]
     fn head_tail_cache_is_bounded_with_fifo_eviction() {
         let (archive, dag) = build_archive();
-        let mut engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
         let baseline: Vec<_> = (1..=HEAD_TAIL_CACHE_CAP + 2)
             .map(|l| {
                 let cfg = TaskConfig { sequence_length: l };
@@ -1208,14 +1495,14 @@ mod tests {
             .collect();
         match &engine.inner {
             EngineInner::Fine(state) => {
+                let slots = state.analysis.head_tail.lock().unwrap();
                 assert_eq!(
-                    state.cache.head_tail.len(),
+                    slots.map.len(),
                     HEAD_TAIL_CACHE_CAP,
                     "cache must stay bounded"
                 );
                 assert!(
-                    !state.cache.head_tail.contains_key(&1)
-                        && !state.cache.head_tail.contains_key(&2),
+                    !slots.map.contains_key(&1) && !slots.map.contains_key(&2),
                     "oldest lengths must have been evicted first"
                 );
             }
@@ -1227,5 +1514,91 @@ mod tests {
             .unwrap();
         assert!(!again.timings.warm, "evicted l=1 must recompute");
         assert_eq!(again.output, baseline[0], "recomputed output must match");
+    }
+
+    #[test]
+    fn engine_is_sync_and_shareable_across_threads() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Engine<'_>>();
+
+        let (archive, dag) = build_archive();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let cfg = TaskConfig::default();
+        let baseline = engine.run(Task::WordCount, cfg).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let got = engine.run(Task::WordCount, cfg).unwrap();
+                    assert_eq!(got.output, baseline.output);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn analysis_fills_count_once_regardless_of_query_count() {
+        let (archive, dag) = build_archive();
+        let engine = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        let cfg = TaskConfig::default();
+        engine.run(Task::WordCount, cfg).unwrap();
+        let after_first = engine.analysis_fills();
+        assert!(after_first > 0, "cold query must fill shared artifacts");
+        for _ in 0..4 {
+            engine.run(Task::WordCount, cfg).unwrap();
+        }
+        assert_eq!(
+            engine.analysis_fills(),
+            after_first,
+            "warm queries must not re-fill the analysis layer"
+        );
+    }
+
+    #[test]
+    fn results_cache_is_off_by_default_and_opt_in() {
+        let (archive, dag) = build_archive();
+        let plain = Engine::builder(&archive, &dag).threads(2).build().unwrap();
+        assert_eq!(plain.results_cache_counters(), None);
+        let exec = plain.run(Task::WordCount, TaskConfig::default()).unwrap();
+        assert!(exec.timings.results_cache.is_none());
+
+        let caching = Engine::builder(&archive, &dag)
+            .threads(2)
+            .results_cache(true)
+            .build()
+            .unwrap();
+        let cfg = TaskConfig::default();
+        let cold = caching.run(Task::WordCount, cfg).unwrap();
+        let stats = cold.timings.results_cache.expect("cache stats attached");
+        assert!(!stats.hit);
+        let warm = caching.run(Task::WordCount, cfg).unwrap();
+        let stats = warm.timings.results_cache.expect("cache stats attached");
+        assert!(stats.hit, "identical (task, cfg) must hit the results cache");
+        assert!(warm.timings.warm, "a cache hit is by definition warm");
+        assert_eq!(warm.output, cold.output);
+        assert_eq!(caching.results_cache_counters(), Some((1, 1)));
+    }
+
+    #[test]
+    fn results_cache_distinguishes_configs() {
+        let (archive, dag) = build_archive();
+        let engine = Engine::builder(&archive, &dag)
+            .threads(2)
+            .results_cache(true)
+            .build()
+            .unwrap();
+        let a = engine
+            .run(Task::SequenceCount, TaskConfig { sequence_length: 2 })
+            .unwrap();
+        let b = engine
+            .run(Task::SequenceCount, TaskConfig { sequence_length: 3 })
+            .unwrap();
+        assert_ne!(a.output, b.output, "different l must give different output");
+        let (hits, misses) = engine.results_cache_counters().unwrap();
+        assert_eq!((hits, misses), (0, 2), "distinct cfgs never alias a key");
+        let again = engine
+            .run(Task::SequenceCount, TaskConfig { sequence_length: 2 })
+            .unwrap();
+        assert_eq!(again.output, a.output);
+        assert_eq!(engine.results_cache_counters(), Some((1, 2)));
     }
 }

@@ -80,6 +80,7 @@ pub mod engine;
 pub mod exec;
 pub mod file_csr;
 pub mod head_tail;
+pub(crate) mod scratch;
 pub mod sequences;
 
 pub use engine::{
@@ -91,8 +92,9 @@ use crate::parallel::{run_task_parallel, ParallelConfig};
 use crate::results::*;
 use crate::timing::{PhaseTimings, Timer, WorkStats};
 use arena::shard::{sort_fold, CountEntry, MaskEntry, ShardBuf};
-use engine::SessionCache;
+use engine::{Analysis, FineCtx, RunCharge};
 use exec::{DisjointSlots, WorkerPool};
+use scratch::ScratchPool;
 use file_csr::FileCsr;
 use sequences::{count_range_windows, count_root_chunk, root_chunks, RootChunk};
 use sequitur::fxhash::FxHashMap;
@@ -242,12 +244,22 @@ pub fn run_task_fine_grained(
         chunk_elements: fcfg.chunk_elements.max(1),
     };
     let pool = WorkerPool::new(fcfg.num_threads);
-    let mut cache = SessionCache::default();
-    run_fine_with_cache(archive, dag, task, cfg, fcfg, &pool, &mut cache)
+    let analysis = Analysis::default();
+    let tv_scratch = ScratchPool::default();
+    let ctx = FineCtx {
+        fcfg,
+        analysis: &analysis,
+        tv_scratch: &tv_scratch,
+    };
+    run_fine_with_cache(archive, dag, task, cfg, ctx, &pool)
 }
 
 /// Dispatches one fine-grained task over an existing pool and session
-/// cache — the shared back end of [`Engine::run`] and the one-shot wrapper.
+/// context — the shared back end of [`Engine::run`] and the one-shot
+/// wrapper.  Takes only shared references to the session state (the
+/// [`FineCtx`] is `Copy`): all mutation happens through the analysis
+/// layer's once-filled cells and the leased per-query scratch, which is
+/// what lets [`Engine::run`] accept `&self`.
 ///
 /// The caller is responsible for configuration validation (the builder) or
 /// normalization (the wrapper); `cfg.sequence_length` must be at least 1
@@ -257,18 +269,15 @@ pub(crate) fn run_fine_with_cache(
     dag: &Dag,
     task: Task,
     cfg: TaskConfig,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     match task {
-        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, fcfg, pool, cache),
-        Task::InvertedIndex => inverted_index_fine(archive, dag, fcfg, pool, cache),
-        Task::TermVector => term_vector_fine(archive, dag, fcfg, pool, cache),
-        Task::SequenceCount => sequence_count_fine(archive, dag, cfg, fcfg, pool, cache),
-        Task::RankedInvertedIndex => {
-            ranked_inverted_index_fine(archive, dag, cfg, fcfg, pool, cache)
-        }
+        Task::WordCount | Task::Sort => word_count_fine(archive, dag, task, ctx, pool),
+        Task::InvertedIndex => inverted_index_fine(archive, dag, ctx, pool),
+        Task::TermVector => term_vector_fine(archive, dag, ctx, pool),
+        Task::SequenceCount => sequence_count_fine(archive, dag, cfg, ctx, pool),
+        Task::RankedInvertedIndex => ranked_inverted_index_fine(archive, dag, cfg, ctx, pool),
     }
 }
 
@@ -498,23 +507,20 @@ fn word_count_fine(
     _archive: &TadocArchive,
     dag: &Dag,
     task: Task,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     let threads = pool.threads();
 
     // Phase 1: initialization — weights via the level-synchronized top-down
-    // traversal, served from the session cache when warm.  The work items
+    // traversal, served from the analysis layer when warm.  The work items
     // are *chunks* of each rule's local-word list (the root's list holds
     // most of a few-huge-files corpus, so a whole-rule item would serialise
     // on one worker), claimed dynamically.
     let init_timer = Timer::start();
-    cache.ensure_rule_weights(dag, pool);
-    cache.ensure_word_chunks(dag, fcfg);
-    let charge = cache.take_charge();
-    let weights = cache.rule_weights.as_deref().expect("rule weights ensured");
-    let chunks = cache.word_chunks.as_deref().expect("word chunks ensured");
+    let mut charge = RunCharge::default();
+    let weights = ctx.analysis.ensure_rule_weights(dag, pool, &mut charge);
+    let chunks = ctx.analysis.ensure_word_chunks(dag, ctx.fcfg, &mut charge);
     let init_work = charge.work;
     let init = init_timer.elapsed();
 
@@ -588,22 +594,20 @@ fn word_count_fine(
 fn inverted_index_fine(
     archive: &TadocArchive,
     dag: &Dag,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     let grammar = &archive.grammar;
     let threads = pool.threads();
 
     let init_timer = Timer::start();
-    cache.ensure_file_weights(grammar, dag, pool);
-    cache.ensure_index_chunks(grammar, dag, fcfg);
-    let charge = cache.take_charge();
-    let fw = cache.file_weights.as_deref().expect("file weights ensured");
-    let (rule_chunks, seg_chunks) = cache
-        .index_chunks
-        .as_ref()
-        .expect("index chunks ensured");
+    let mut charge = RunCharge::default();
+    let fw = ctx
+        .analysis
+        .ensure_file_weights(grammar, dag, pool, &mut charge);
+    let (rule_chunks, seg_chunks) =
+        ctx.analysis
+            .ensure_index_chunks(grammar, dag, ctx.fcfg, &mut charge);
     let init_work = charge.work;
     let init = init_timer.elapsed();
 
@@ -726,15 +730,33 @@ fn inverted_index_fine(
 // ---------------------------------------------------------------------------
 
 /// The cacheable initialization product of the term-vector task: the
-/// file-major CSR, the cost-balanced per-worker file ranges, and the sizes
-/// the dense scratch is carved with.  Depends only on the archive, the DAG,
-/// and the engine-fixed `(threads, chunk_elements)` — never on a per-query
-/// knob — so a session computes it once.
+/// file-major CSR, the per-file traversal costs, and the sizes the dense
+/// scratch is carved with.  Depends only on the archive, the DAG, and the
+/// engine-fixed `chunk_elements` — never on a per-query knob — so a session
+/// computes it once.  The cost-balanced per-worker file *ranges* are
+/// deliberately **not** cached: they depend on the width of the pool that
+/// happens to execute the query (a contended query may run inline on a
+/// 1-thread pool), so each query derives them from `costs` with
+/// [`exec::partition_by_cost`].
 pub(crate) struct TermVectorPrep {
     pub(crate) csr: FileCsr,
-    pub(crate) ranges: Vec<std::ops::Range<usize>>,
+    pub(crate) costs: Vec<u64>,
     pub(crate) num_files: usize,
     pub(crate) vocab: usize,
+}
+
+/// The dense per-worker accumulation region of the term-vector traversal:
+/// `counts[word]` (a perfect-hash array over the vocabulary) plus the
+/// touched-word list that bounds per-file cleanup.  Leased as a
+/// `Vec<TvScratch>` (one entry per worker) from the session's
+/// [`ScratchPool`] so concurrent queries never share a region.  The
+/// recycling invariant — all counts zero, `touched` empty — is exactly the
+/// state the per-file cleanup restores, so a lease that completes its epoch
+/// is returned clean and the next query skips the O(vocab) zeroing.
+#[derive(Default)]
+pub(crate) struct TvScratch {
+    counts: Vec<u64>,
+    touched: Vec<WordId>,
 }
 
 /// Builds [`TermVectorPrep`]: the file-major CSR *directly* with a
@@ -905,10 +927,9 @@ pub(crate) fn build_term_vector_prep(
             root_words + local
         })
         .collect();
-    let ranges = exec::partition_by_cost(&costs, threads);
     TermVectorPrep {
         csr,
-        ranges,
+        costs,
         num_files,
         vocab,
     }
@@ -917,20 +938,21 @@ pub(crate) fn build_term_vector_prep(
 fn term_vector_fine(
     archive: &TadocArchive,
     dag: &Dag,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     let grammar = &archive.grammar;
+    let threads = pool.threads();
 
     // Phase 1: initialization — the whole CSR build is a session artifact
     // ([`TermVectorPrep`]): cold runs compute it here, warm runs skip
     // straight to the traversal.
     let init_timer = Timer::start();
-    cache.ensure_term_vector_prep(archive, dag, fcfg, pool);
-    let charge = cache.take_charge();
-    let prep = cache.term_vector.as_ref().expect("term vector prep ensured");
-    let segments = cache.segments.as_deref().expect("segments ensured");
+    let mut charge = RunCharge::default();
+    let prep = ctx
+        .analysis
+        .ensure_term_vector_prep(archive, dag, ctx.fcfg, pool, &mut charge);
+    let segments = ctx.analysis.ensure_segments(grammar, &mut charge);
     let csr = &prep.csr;
     let (num_files, vocab) = (prep.num_files, prep.vocab);
     let root = grammar.root();
@@ -938,20 +960,40 @@ fn term_vector_fine(
     let init = init_timer.elapsed();
 
     // Phase 2: traversal — file-major accumulation.  Each worker owns a
-    // contiguous file range and walks only those files' CSR entries,
-    // accumulating one file at a time into a dense per-worker
+    // contiguous file range (cost-balanced for *this* pool's width — the
+    // cached prep stores only the costs) and walks only those files' CSR
+    // entries, accumulating one file at a time into a dense per-worker
     // `counts[word]` scratch with a touched-word list: word ids are already
     // a perfect hash of the vocabulary, so the accumulate is a direct array
     // add (no probing at all) and the per-file cleanup touches only the
     // file's own words.  File ownership is disjoint, so the "merge" is a
     // plain scatter of finished vectors.
+    //
+    // The scratch regions are *leased* from the session's [`ScratchPool`]
+    // rather than allocated per query: per-file cleanup restores the
+    // all-zero recycling invariant, so a lease that completes its epoch is
+    // marked clean and returned; a query that unwinds mid-epoch drops its
+    // lease dirty and the pool discards it (see `scratch`).
     let trav_timer = Timer::start();
+    let ranges = exec::partition_by_cost(&prep.costs, threads);
+    let mut lease = ctx.tv_scratch.lease_with(Vec::new);
+    if lease.len() < threads {
+        lease.resize_with(threads, TvScratch::default);
+    }
+    for s in lease.iter_mut().take(threads) {
+        s.counts.resize(vocab, 0);
+    }
     type FileVectors = Vec<(usize, Vec<(WordId, u64)>)>;
-    let locals: Vec<(FileVectors, WorkStats)> =
-        pool.map_workers(prep.ranges.clone(), |_w, files| {
+    let locals: Vec<(FileVectors, WorkStats)> = {
+        let slots = DisjointSlots::new(&mut lease[..threads]);
+        pool.map_workers(ranges, |w, files| {
+            // SAFETY: worker `w` is handed exactly one input by
+            // `map_workers` and borrows exactly scratch slot `w`; no other
+            // worker touches that slot until the epoch barrier, and the
+            // borrow ends with this closure call.
+            let scratch = unsafe { slots.get_mut(w) };
+            let (counts, touched) = (&mut scratch.counts, &mut scratch.touched);
             let mut stats = WorkStats::default();
-            let mut counts: Vec<u64> = vec![0; vocab];
-            let mut touched: Vec<WordId> = Vec::new();
             stats.bytes_moved += vocab as u64 * 8;
             let mut vectors: FileVectors = Vec::with_capacity(files.len());
             for f in files {
@@ -985,7 +1027,7 @@ fn term_vector_fine(
                     .iter()
                     .map(|&w| (w, counts[w as usize]))
                     .collect();
-                for &w in &touched {
+                for &w in touched.iter() {
                     counts[w as usize] = 0;
                 }
                 touched.clear();
@@ -993,7 +1035,11 @@ fn term_vector_fine(
                 vectors.push((f, v));
             }
             (vectors, stats)
-        });
+        })
+    };
+    // Every worker finished its epoch, so every region is back to the
+    // all-zero invariant — return the lease to the pool for the next query.
+    lease.mark_clean();
 
     let mut vectors: Vec<Vec<(WordId, u64)>> = vec![Vec::new(); num_files];
     let mut traversal_work = WorkStats::default();
@@ -1051,14 +1097,13 @@ fn sequence_count_fine(
     archive: &TadocArchive,
     dag: &Dag,
     cfg: TaskConfig,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     if sequences::can_pack(cfg.sequence_length, archive.vocabulary_size()) {
-        sequence_count_fine_impl::<u64>(archive, dag, cfg, fcfg, pool, cache)
+        sequence_count_fine_impl::<u64>(archive, dag, cfg, ctx, pool)
     } else {
-        sequence_count_fine_impl::<Sequence>(archive, dag, cfg, fcfg, pool, cache)
+        sequence_count_fine_impl::<Sequence>(archive, dag, cfg, ctx, pool)
     }
 }
 
@@ -1066,25 +1111,23 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
     archive: &TadocArchive,
     dag: &Dag,
     cfg: TaskConfig,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     let grammar = &archive.grammar;
     let threads = pool.threads();
     let l = cfg.sequence_length;
 
     let init_timer = Timer::start();
-    cache.ensure_rule_weights(dag, pool);
-    cache.ensure_head_tail(grammar, dag, l, pool);
-    cache.ensure_sequence_items(grammar, fcfg);
-    let charge = cache.take_charge();
-    let weights = cache.rule_weights.as_deref().expect("rule weights ensured");
-    let ht = cache.head_tail.get(&l).expect("head/tail ensured");
-    let items = cache
-        .sequence_items
-        .as_deref()
-        .expect("sequence items ensured");
+    let mut charge = RunCharge::default();
+    let weights = ctx.analysis.ensure_rule_weights(dag, pool, &mut charge);
+    let ht_cell = ctx
+        .analysis
+        .ensure_head_tail(grammar, dag, l, pool, &mut charge);
+    let ht = ht_cell.get().expect("head/tail ensured");
+    let items = ctx
+        .analysis
+        .ensure_sequence_items(grammar, ctx.fcfg, &mut charge);
     let init_work = charge.work;
     let init = init_timer.elapsed();
 
@@ -1156,14 +1199,13 @@ fn ranked_inverted_index_fine(
     archive: &TadocArchive,
     dag: &Dag,
     cfg: TaskConfig,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     if sequences::can_pack(cfg.sequence_length, archive.vocabulary_size()) {
-        ranked_inverted_index_fine_impl::<u64>(archive, dag, cfg, fcfg, pool, cache)
+        ranked_inverted_index_fine_impl::<u64>(archive, dag, cfg, ctx, pool)
     } else {
-        ranked_inverted_index_fine_impl::<Sequence>(archive, dag, cfg, fcfg, pool, cache)
+        ranked_inverted_index_fine_impl::<Sequence>(archive, dag, cfg, ctx, pool)
     }
 }
 
@@ -1171,25 +1213,25 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
     archive: &TadocArchive,
     dag: &Dag,
     cfg: TaskConfig,
-    fcfg: FineGrainedConfig,
+    ctx: FineCtx<'_>,
     pool: &WorkerPool,
-    cache: &mut SessionCache,
 ) -> TaskExecution {
     let grammar = &archive.grammar;
     let threads = pool.threads();
     let l = cfg.sequence_length;
 
     let init_timer = Timer::start();
-    cache.ensure_file_weights(grammar, dag, pool);
-    cache.ensure_head_tail(grammar, dag, l, pool);
-    cache.ensure_sequence_items(grammar, fcfg);
-    let charge = cache.take_charge();
-    let fw = cache.file_weights.as_deref().expect("file weights ensured");
-    let ht = cache.head_tail.get(&l).expect("head/tail ensured");
-    let items = cache
-        .sequence_items
-        .as_deref()
-        .expect("sequence items ensured");
+    let mut charge = RunCharge::default();
+    let fw = ctx
+        .analysis
+        .ensure_file_weights(grammar, dag, pool, &mut charge);
+    let ht_cell = ctx
+        .analysis
+        .ensure_head_tail(grammar, dag, l, pool, &mut charge);
+    let ht = ht_cell.get().expect("head/tail ensured");
+    let items = ctx
+        .analysis
+        .ensure_sequence_items(grammar, ctx.fcfg, &mut charge);
     let init_work = charge.work;
     let init = init_timer.elapsed();
 

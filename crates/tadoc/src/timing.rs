@@ -57,6 +57,20 @@ pub enum Degradation {
     ArenaCapacity,
 }
 
+/// A snapshot of the session results cache taken as a query completed,
+/// attached to [`PhaseTimings::results_cache`] when the engine was built
+/// with [`results_cache(true)`](crate::fine_grained::EngineBuilder::results_cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultsCacheStats {
+    /// `true` when *this* query was answered from the results cache
+    /// without executing anything.
+    pub hit: bool,
+    /// Cumulative cache hits for the session, including this query.
+    pub hits: u64,
+    /// Cumulative cache misses for the session, including this query.
+    pub misses: u64,
+}
+
 /// Wall-clock and work accounting for the two execution phases.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
@@ -86,6 +100,10 @@ pub struct PhaseTimings {
     /// the engine served the query through the sequential fallback instead.
     /// `None` on every run served by the requested path.
     pub degraded: Option<Degradation>,
+    /// Results-cache accounting for this query: `Some` only on engines
+    /// built with the results cache enabled, `None` everywhere else
+    /// (one-shot wrappers, cache-less engines).
+    pub results_cache: Option<ResultsCacheStats>,
 }
 
 impl PhaseTimings {

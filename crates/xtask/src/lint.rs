@@ -59,7 +59,7 @@ const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"
 /// cancellation to other threads.  `Relaxed` on these is a latent ordering
 /// bug even when the surrounding mutex happens to save it today.
 const CONTROL_WORDS: &[&str] = &[
-    "epoch", "gen", "remaining", "shutdown", "active", "poison", "control", "barrier",
+    "epoch", "gen", "remaining", "shutdown", "active", "poison", "control", "barrier", "lease",
 ];
 
 /// How many non-comment tokens `safety-comments` walks backwards over before

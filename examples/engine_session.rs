@@ -30,7 +30,7 @@ fn main() {
         Ok(_) => unreachable!("zero threads must not build"),
     }
 
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid engine configuration");

@@ -38,7 +38,7 @@ fn one_engine_all_tasks_twice_matches_oracle_on_both_corpus_shapes() {
         let dag = Dag::from_grammar(&archive.grammar);
         let cfg = TaskConfig::default();
         for threads in [1usize, 4, 8] {
-            let mut engine = Engine::builder(&archive, &dag)
+            let engine = Engine::builder(&archive, &dag)
                 .threads(threads)
                 .build()
                 .expect("valid engine config");
@@ -82,7 +82,7 @@ fn engine_facade_agrees_with_run_task_with_mode_wrapper() {
         ExecutionMode::FineGrained(FineGrainedConfig::with_threads(3)),
     ];
     for mode in modes {
-        let mut engine = Engine::builder(&archive, &dag)
+        let engine = Engine::builder(&archive, &dag)
             .execution_mode(mode)
             .build()
             .expect("valid engine config");
@@ -113,7 +113,7 @@ fn warm_init_drops_versus_cold_init() {
         // A fresh session per task: on a shared one, a task can be served
         // warm on its *first* run because an earlier task already cached
         // its whole artifact set (sort after wordCount, for instance).
-        let mut engine = Engine::builder(&archive, &dag)
+        let engine = Engine::builder(&archive, &dag)
             .threads(4)
             .build()
             .expect("valid engine config");
@@ -168,15 +168,14 @@ fn pool_survives_many_queries_without_respawning_threads() {
     let corpus = a_shaped_corpus();
     let archive = compress_corpus(&corpus, CompressOptions::default());
     let dag = Dag::from_grammar(&archive.grammar);
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid engine config");
 
     let initial_thread_ids: Vec<(usize, std::thread::ThreadId)> = engine
-        .worker_pool()
-        .expect("fine mode owns a pool")
-        .collect(|w| (w, std::thread::current().id()));
+        .with_worker_pool(|pool| pool.collect(|w| (w, std::thread::current().id())))
+        .expect("fine mode owns a pool");
 
     let mut last_epochs = engine.epochs();
     let cfg = TaskConfig::default();
@@ -197,9 +196,8 @@ fn pool_survives_many_queries_without_respawning_threads() {
     }
 
     let final_thread_ids: Vec<(usize, std::thread::ThreadId)> = engine
-        .worker_pool()
-        .expect("fine mode owns a pool")
-        .collect(|w| (w, std::thread::current().id()));
+        .with_worker_pool(|pool| pool.collect(|w| (w, std::thread::current().id())))
+        .expect("fine mode owns a pool");
     assert_eq!(
         final_thread_ids, initial_thread_ids,
         "worker ids must stay pinned to the same OS threads across queries"
@@ -213,7 +211,7 @@ fn run_all_shares_prerequisites_and_matches_oracle() {
     let corpus = b_shaped_corpus();
     let archive = compress_corpus(&corpus, CompressOptions::default());
     let dag = Dag::from_grammar(&archive.grammar);
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid engine config");
@@ -249,7 +247,7 @@ fn sequence_length_variants_share_one_session() {
     let corpus = a_shaped_corpus();
     let archive = compress_corpus(&corpus, CompressOptions::default());
     let dag = Dag::from_grammar(&archive.grammar);
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid engine config");

@@ -64,7 +64,7 @@ fn every_failpoint_leaves_the_engine_serving_oracle_identical_results() {
             let oracle = run_task(&archive, &dag, spec.task, spec.cfg);
             for site in FAILPOINTS {
                 let label = format!("site={site} threads={threads} task={}", spec.task.name());
-                let mut engine = Engine::builder(&archive, &dag)
+                let engine = Engine::builder(&archive, &dag)
                     .threads(threads)
                     .build()
                     .expect("valid archive");
@@ -109,7 +109,7 @@ fn pool_heals_across_repeated_poison_cycles_with_monotonic_epochs() {
     let archive = compress_corpus(&corpus(), CompressOptions::default());
     let dag = Dag::from_grammar(&archive.grammar);
     let oracle = run_task(&archive, &dag, Task::WordCount, TaskConfig::default());
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid archive");
@@ -130,8 +130,10 @@ fn pool_heals_across_repeated_poison_cycles_with_monotonic_epochs() {
             Some(Degradation::WorkerPanic),
             "round {round}"
         );
-        let pool = engine.worker_pool().expect("fine mode owns a pool");
-        assert!(!pool.is_poisoned(), "round {round}: pool must be healed");
+        let healthy = engine
+            .with_worker_pool(|pool| !pool.is_poisoned())
+            .expect("fine mode owns a pool");
+        assert!(healthy, "round {round}: pool must be healed");
         let epochs = engine.epochs();
         assert!(
             epochs > last_epochs,
@@ -157,7 +159,7 @@ fn cancellation_mid_query_returns_typed_error_and_keeps_the_session_healthy() {
     let archive = compress_corpus(&corpus(), CompressOptions::default());
     let dag = Dag::from_grammar(&archive.grammar);
     let oracle = run_task(&archive, &dag, Task::WordCount, TaskConfig::default());
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid archive");
@@ -178,7 +180,7 @@ fn cancellation_mid_query_returns_typed_error_and_keeps_the_session_healthy() {
 
     // Clean abort: nothing poisoned, the next unrestricted query is served
     // by the fine path and matches the oracle.
-    assert!(!engine.worker_pool().unwrap().is_poisoned());
+    assert!(engine.with_worker_pool(|pool| !pool.is_poisoned()).unwrap());
     let after = engine.run(Task::WordCount, TaskConfig::default()).unwrap();
     assert_eq!(after.output, oracle.output);
     assert!(after.timings.degraded.is_none());
@@ -190,7 +192,7 @@ fn deadline_mid_query_returns_typed_error_in_bounded_time() {
     failpoints::reset();
     let archive = compress_corpus(&large_corpus(), CompressOptions::default());
     let dag = Dag::from_grammar(&archive.grammar);
-    let mut engine = Engine::builder(&archive, &dag)
+    let engine = Engine::builder(&archive, &dag)
         .threads(4)
         .build()
         .expect("valid archive");
@@ -209,7 +211,7 @@ fn deadline_mid_query_returns_typed_error_in_bounded_time() {
 
     // The session survives: the identical query, unrestricted, completes
     // and matches the oracle.
-    assert!(!engine.worker_pool().unwrap().is_poisoned());
+    assert!(engine.with_worker_pool(|pool| !pool.is_poisoned()).unwrap());
     let cfg = TaskConfig { sequence_length: 3 };
     let oracle = run_task(&archive, &dag, Task::SequenceCount, cfg);
     let after = engine.run(Task::SequenceCount, cfg).unwrap();
@@ -271,4 +273,137 @@ fn capacity_panic_payloads_classify_through_the_pool_as_faults() {
         EpochOutcome::Completed => panic!("epoch must fault"),
     }
     assert!(pool.is_poisoned(), "a capacity fault poisons the pool");
+}
+
+/// A fault injected into **one** query of a concurrent mix must stay
+/// per-query: at every failpoint, all answers from all client threads
+/// remain oracle-identical, at most the single query that absorbed the
+/// armed hit degrades, and the shared engine keeps serving clean fine-path
+/// answers afterwards.
+#[test]
+fn concurrent_fault_isolation_at_every_failpoint() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let _guard = serial();
+    failpoints::reset();
+    let archive = compress_corpus(&corpus(), CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let mix: Vec<(Task, TaskConfig)> = Task::ALL
+        .into_iter()
+        .map(|t| (t, TaskConfig::default()))
+        .collect();
+    let oracle: Vec<AnalyticsOutput> = mix
+        .iter()
+        .map(|&(task, cfg)| run_task(&archive, &dag, task, cfg).output)
+        .collect();
+
+    for site in FAILPOINTS {
+        let engine = Engine::builder(&archive, &dag)
+            .threads(4)
+            .build()
+            .expect("valid archive");
+        failpoints::enable_times(site, 1);
+        let degraded = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for c in 0..4usize {
+                let engine = &engine;
+                let mix = &mix;
+                let oracle = &oracle;
+                let degraded = &degraded;
+                s.spawn(move || {
+                    for i in 0..2 * mix.len() {
+                        let k = (c + i) % mix.len();
+                        let (task, cfg) = mix[k];
+                        let exec = engine.run(task, cfg).unwrap_or_else(|e| {
+                            panic!("site={site} client {c}: query failed: {e}")
+                        });
+                        assert_eq!(
+                            exec.output,
+                            oracle[k],
+                            "site={site} client {c}: a fault in one query \
+                             poisoned another's answer"
+                        );
+                        if exec.timings.degraded.is_some() {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        failpoints::reset();
+        assert!(
+            degraded.load(Ordering::Relaxed) <= 1,
+            "site={site}: one armed hit may degrade at most the query that \
+             absorbed it"
+        );
+        // The same engine keeps serving clean fine-path answers.
+        let after = engine
+            .run(Task::WordCount, TaskConfig::default())
+            .expect("post-round query");
+        assert_eq!(after.output, oracle[0], "site={site}: post-round output");
+        assert!(
+            after.timings.degraded.is_none(),
+            "site={site}: post-round query must run the fine path"
+        );
+    }
+}
+
+/// Cancelling one concurrent query must not cancel, degrade, or corrupt
+/// the queries of other client threads — the cancel token travels with
+/// exactly one query's control.
+#[test]
+fn cancellation_in_one_concurrent_query_leaves_others_untouched() {
+    let _guard = serial();
+    failpoints::reset();
+    let archive = compress_corpus(&corpus(), CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let cfg = TaskConfig::default();
+    let oracle = run_task(&archive, &dag, Task::WordCount, cfg);
+    let engine = Engine::builder(&archive, &dag)
+        .threads(4)
+        .build()
+        .expect("valid archive");
+
+    // The observation hook cancels the victim's token the moment *any*
+    // execution crosses a chunk boundary; only the victim carries the
+    // token, so only the victim aborts.
+    let token = CancelToken::new();
+    let hook_token = token.clone();
+    failpoints::observe("chunk-boundary", move || hook_token.cancel());
+    let victim_result = std::thread::scope(|s| {
+        let victim = s.spawn(|| {
+            let opts = QueryOptions::new().cancel_token(token);
+            engine.run_with(Task::WordCount, cfg, &opts)
+        });
+        for c in 0..3usize {
+            let engine = &engine;
+            let oracle = &oracle;
+            s.spawn(move || {
+                for i in 0..8 {
+                    let exec = engine.run(Task::WordCount, cfg).unwrap_or_else(|e| {
+                        panic!("bystander {c} iteration {i} failed: {e}")
+                    });
+                    assert_eq!(
+                        exec.output, oracle.output,
+                        "bystander {c} iteration {i}: output corrupted"
+                    );
+                    assert!(
+                        exec.timings.degraded.is_none(),
+                        "bystander {c} iteration {i}: must not degrade"
+                    );
+                }
+            });
+        }
+        victim.join().expect("victim thread must not panic")
+    });
+    failpoints::reset();
+    assert_eq!(
+        victim_result.expect_err("the victim's token is always cancelled"),
+        EngineError::Cancelled,
+        "the victim aborts with the typed cancellation error"
+    );
+
+    // The session survives: an unrestricted query serves the fine path.
+    let after = engine.run(Task::WordCount, cfg).expect("post-round query");
+    assert_eq!(after.output, oracle.output);
+    assert!(after.timings.degraded.is_none());
 }
