@@ -507,6 +507,12 @@ pub struct ModeCell {
     pub coarse_ns: u64,
     /// Fastest-rep wall-clock nanoseconds of the fine-grained engine.
     pub fine_ns: u64,
+    /// Finalize-phase nanoseconds of the fine-grained correctness-gate run:
+    /// the ordered k-way merge of per-shard runs into the columnar result
+    /// (the step that replaced the final hash table).  Taken from the gate
+    /// execution, not the fastest rep, so it is an observation of the phase
+    /// split, not a third timing to race against `fine_ns`.
+    pub fine_finalize_ns: u64,
 }
 
 impl ModeCell {
@@ -751,6 +757,7 @@ pub fn fine_grained_report(
     for task in Task::ALL {
         let reference = run_task(archive, dag, task, cfg).output.digest();
         let mut ns = [0u64; 3];
+        let mut fine_finalize_ns = 0u64;
         for (slot, mode) in ns.iter_mut().zip(modes) {
             // Correctness gate, outside the timed window.
             let exec = run_task_with_mode(archive, dag, task, cfg, mode);
@@ -761,6 +768,9 @@ pub fn fine_grained_report(
                 task.name(),
                 mode.name()
             );
+            if matches!(mode, ExecutionMode::FineGrained(_)) {
+                fine_finalize_ns = exec.timings.finalize.as_nanos() as u64;
+            }
             *slot = min_ns(reps, || run_task_with_mode(archive, dag, task, cfg, mode));
         }
         cells.push(ModeCell {
@@ -768,6 +778,7 @@ pub fn fine_grained_report(
             sequential_ns: ns[0],
             coarse_ns: ns[1],
             fine_ns: ns[2],
+            fine_finalize_ns,
         });
     }
 
@@ -795,15 +806,16 @@ impl FineGrainedReport {
             self.dataset, self.num_files, self.total_tokens, self.threads, self.reps
         ));
         out.push_str(
-            "task                    sequential(ms)  coarse(ms)   fine(ms)     fine vs seq  fine vs coarse\n",
+            "task                    sequential(ms)  coarse(ms)   fine(ms)     finalize(ms)  fine vs seq  fine vs coarse\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<23} {:<15.3} {:<12.3} {:<12.3} {:<12.2} {:.2}\n",
+                "{:<23} {:<15.3} {:<12.3} {:<12.3} {:<13.3} {:<12.2} {:.2}\n",
                 c.task.name(),
                 c.sequential_ns as f64 / 1e6,
                 c.coarse_ns as f64 / 1e6,
                 c.fine_ns as f64 / 1e6,
+                c.fine_finalize_ns as f64 / 1e6,
                 c.speedup_vs_sequential(),
                 c.speedup_vs_coarse()
             ));
@@ -845,6 +857,11 @@ pub const BENCH_NOTES: &[&str] = &[
      four huge files any further, so it degenerates to near-sequential with \
      partition overhead.  Re-baseline B alone with `experiments -- fine \
      --dataset B --out BENCH_B.json` instead of re-running both datasets.",
+    "`fine_finalize_ns` is the finalize phase of the fine engine's \
+     correctness-gate run: the ordered k-way merge of per-shard runs into \
+     the columnar result (the step that replaced the final hash table).  It \
+     comes from a single observation, not the fastest rep, so compare it \
+     against the phase split, not against `fine_ns`.",
     "The `warm` block (from `--warm`) runs all six tasks in order on ONE \
      shared Engine session: each task's first run is its cold observation \
      (it only computes artifacts no earlier task already cached — wordCount \
@@ -873,11 +890,12 @@ pub fn fine_grained_json(reports: &[FineGrainedReport]) -> String {
         ));
         for (j, c) in r.cells.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"task\": \"{}\", \"sequential_ns\": {}, \"coarse_ns\": {}, \"fine_ns\": {}, \"speedup_fine_vs_sequential\": {:.3}, \"speedup_fine_vs_coarse\": {:.3}}}{}\n",
+                "        {{\"task\": \"{}\", \"sequential_ns\": {}, \"coarse_ns\": {}, \"fine_ns\": {}, \"fine_finalize_ns\": {}, \"speedup_fine_vs_sequential\": {:.3}, \"speedup_fine_vs_coarse\": {:.3}}}{}\n",
                 c.task.name(),
                 c.sequential_ns,
                 c.coarse_ns,
                 c.fine_ns,
+                c.fine_finalize_ns,
                 c.speedup_vs_sequential(),
                 c.speedup_vs_coarse(),
                 if j + 1 == r.cells.len() { "" } else { "," }

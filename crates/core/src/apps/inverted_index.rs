@@ -147,7 +147,7 @@ pub fn run(
             );
         }
     }
-    let postings = sets
+    let rows = sets
         .into_iter()
         .map(|(w, set)| {
             let mut files: Vec<FileId> = set.into_iter().collect();
@@ -155,7 +155,7 @@ pub fn run(
             (w, files)
         })
         .collect();
-    InvertedIndexResult { postings }
+    InvertedIndexResult::from_unsorted_rows(rows)
 }
 
 #[cfg(test)]

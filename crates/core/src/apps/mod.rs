@@ -14,13 +14,15 @@ pub mod word_count;
 
 use crate::hashtable::GpuHashTable;
 use tadoc::results::WordCountResult;
-use tadoc::FxHashMap;
 
-/// Converts a GPU word-count hash table into the shared result type.
+/// Converts a GPU word-count hash table into the shared ordered result
+/// type, dropping zero-count slots (open-addressing tables may hold
+/// tombstoned entries).
 pub(crate) fn word_counts_from_table(table: &GpuHashTable) -> WordCountResult {
-    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
-    for (key, value) in table.iter() {
-        counts.insert(key as u32, value);
-    }
-    WordCountResult { counts }
+    let pairs: Vec<(u32, u64)> = table
+        .iter()
+        .filter(|&(_, value)| value > 0)
+        .map(|(key, value)| (key as u32, value))
+        .collect();
+    WordCountResult::from_unsorted_pairs(pairs)
 }

@@ -102,7 +102,7 @@ pub fn run(
         },
     );
 
-    let postings: FxHashMap<Sequence, Vec<(FileId, u64)>> = per_seq
+    let rows: Vec<(Sequence, Vec<(FileId, u64)>)> = per_seq
         .into_iter()
         .map(|(packed, files)| {
             let mut ranked: Vec<(FileId, u64)> = files.into_iter().collect();
@@ -110,7 +110,7 @@ pub fn run(
             (unpack_sequence(packed, l), ranked)
         })
         .collect();
-    RankedInvertedIndexResult { l, postings }
+    RankedInvertedIndexResult::from_unsorted_rows(l, rows)
 }
 
 #[cfg(test)]
@@ -166,7 +166,7 @@ mod tests {
         let plan = ThreadPlan::fine_grained(&layout, &GtadocParams::default());
         let mut device = Device::new(GpuSpec::gtx_1080());
         let result = run(&mut device, &layout, &plan, &GtadocParams::default());
-        for ranked in result.postings.values() {
+        for (_, ranked) in result.iter() {
             for pair in ranked.windows(2) {
                 assert!(pair[0].1 >= pair[1].1);
             }

@@ -103,11 +103,11 @@ pub fn run(
         },
     );
 
-    let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
-    for (packed, count) in table.iter() {
-        counts.insert(unpack_sequence(packed, l), count);
-    }
-    SequenceCountResult { l, counts }
+    let pairs: Vec<(Vec<u32>, u64)> = table
+        .iter()
+        .map(|(packed, count)| (unpack_sequence(packed, l), count))
+        .collect();
+    SequenceCountResult::from_unsorted_pairs(l, pairs)
 }
 
 #[cfg(test)]
@@ -167,6 +167,6 @@ mod tests {
         let plan = ThreadPlan::fine_grained(&layout, &GtadocParams::default());
         let mut device = Device::new(GpuSpec::gtx_1080());
         let result = run(&mut device, &layout, &plan, &GtadocParams::default());
-        assert!(result.counts.is_empty());
+        assert!(result.is_empty());
     }
 }

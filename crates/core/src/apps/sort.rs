@@ -47,7 +47,7 @@ pub fn run(
     strategy: TraversalStrategy,
 ) -> SortResult {
     let wc: WordCountResult = super::word_count::run(device, layout, plan, params, strategy);
-    let pairs: Vec<(u32, u64)> = wc.counts.iter().map(|(&w, &c)| (w, c)).collect();
+    let pairs: Vec<(u32, u64)> = wc.iter().collect();
     let mut kernel = SortPairsKernel {
         pairs,
         sorted: false,

@@ -149,7 +149,7 @@ pub fn run(
             v
         })
         .collect();
-    TermVectorResult { vectors }
+    TermVectorResult::from_rows(vectors)
 }
 
 #[cfg(test)]

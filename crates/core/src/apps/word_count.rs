@@ -130,7 +130,7 @@ pub fn run(
             );
         }
     }
-    let mut result = super::word_counts_from_table(&table);
+    let result = super::word_counts_from_table(&table);
     // Words that appear only directly in the root of a single-rule grammar are
     // already covered; nothing else to add.  Splitters never reach the table
     // because local word tables exclude them.
@@ -141,7 +141,6 @@ pub fn run(
             .all(|&raw| !matches!(decode_elem(raw), DecodedElem::Splitter(s) if s as usize >= layout.num_files)),
         "splitter ids must be dense"
     );
-    result.counts.retain(|_, &mut v| v > 0);
     result
 }
 

@@ -209,15 +209,17 @@ impl GtadocEngine {
 /// Rough size in bytes of an analytics output when copied back to the host.
 fn estimate_output_bytes(output: &AnalyticsOutput) -> u64 {
     match output {
-        AnalyticsOutput::WordCount(r) => r.counts.len() as u64 * 12,
+        AnalyticsOutput::WordCount(r) => r.distinct_words() as u64 * 12,
         AnalyticsOutput::Sort(r) => r.ranked.len() as u64 * 12,
         AnalyticsOutput::InvertedIndex(r) => {
-            r.postings.values().map(|v| v.len() as u64 * 4 + 8).sum()
+            r.total_postings() as u64 * 4 + r.distinct_words() as u64 * 8
         }
-        AnalyticsOutput::TermVector(r) => r.vectors.iter().map(|v| v.len() as u64 * 12 + 8).sum(),
-        AnalyticsOutput::SequenceCount(r) => r.counts.len() as u64 * 24,
+        AnalyticsOutput::TermVector(r) => {
+            r.total_terms() as u64 * 12 + r.num_files() as u64 * 8
+        }
+        AnalyticsOutput::SequenceCount(r) => r.distinct_sequences() as u64 * 24,
         AnalyticsOutput::RankedInvertedIndex(r) => {
-            r.postings.values().map(|v| v.len() as u64 * 12 + 16).sum()
+            r.table.total_values() as u64 * 12 + r.distinct_sequences() as u64 * 16
         }
     }
     .max(64)

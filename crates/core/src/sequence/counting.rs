@@ -323,7 +323,7 @@ mod tests {
 
         let expected = oracle::sequence_count(&archive.grammar.expand_files(), l);
         let expected_map: FxHashMap<Vec<u32>, u64> =
-            expected.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            expected.iter().map(|(k, v)| (k.to_vec(), v)).collect();
         assert_eq!(counts, expected_map, "l = {l}");
     }
 
@@ -435,16 +435,19 @@ mod tests {
         });
 
         let expected = oracle::ranked_inverted_index(&archive.grammar.expand_files(), l);
-        for (seq, postings) in &expected.postings {
+        for (seq, postings) in expected.iter() {
             for &(f, c) in postings {
                 assert_eq!(
-                    per_file.get(&(f, seq.clone())).copied().unwrap_or(0),
+                    per_file.get(&(f, seq.to_vec())).copied().unwrap_or(0),
                     c,
                     "sequence {seq:?} in file {f}"
                 );
             }
         }
-        let expected_total: u64 = expected.postings.values().flatten().map(|&(_, c)| c).sum();
+        let expected_total: u64 = expected
+            .iter()
+            .flat_map(|(_, postings)| postings.iter().map(|&(_, c)| c))
+            .sum();
         let got_total: u64 = per_file.values().sum();
         assert_eq!(got_total, expected_total);
     }

@@ -53,7 +53,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (InvertedIndexResult, PhaseTimi
         trav_work.elements_scanned += dag.rule_lengths[r] as u64;
     }
 
-    let postings: FxHashMap<WordId, Vec<FileId>> = sets
+    let rows: Vec<(WordId, Vec<FileId>)> = sets
         .into_iter()
         .map(|(w, set)| {
             let mut files: Vec<FileId> = set.into_iter().collect();
@@ -65,7 +65,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (InvertedIndexResult, PhaseTimi
     let traversal = trav_timer.elapsed();
 
     (
-        InvertedIndexResult { postings },
+        InvertedIndexResult::from_unsorted_rows(rows),
         PhaseTimings {
             init,
             traversal,
@@ -123,11 +123,11 @@ mod tests {
             .collect();
         let (archive, dag) = build(&corpus);
         let (result, _) = run(&archive, &dag);
-        for files in result.postings.values() {
-            let mut sorted = files.clone();
+        for (_, files) in result.iter() {
+            let mut sorted = files.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(&sorted, files);
+            assert_eq!(sorted, files);
             assert_eq!(files.len(), 10);
         }
     }

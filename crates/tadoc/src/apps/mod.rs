@@ -122,7 +122,7 @@ pub struct TaskExecution {
 /// let wc = run_task(&archive, &dag, Task::WordCount, TaskConfig::default());
 /// if let AnalyticsOutput::WordCount(counts) = &wc.output {
 ///     let to = archive.dictionary.get("to").unwrap();
-///     assert_eq!(counts.counts[&to], 3);
+///     assert_eq!(counts.count(to), 3);
 /// }
 /// ```
 pub fn run_task(

@@ -49,7 +49,7 @@ pub fn run(
     }
     trav_work.table_ops += per_seq.len() as u64;
 
-    let postings: FxHashMap<Sequence, Vec<(FileId, u64)>> = per_seq
+    let rows: Vec<(Sequence, Vec<(FileId, u64)>)> = per_seq
         .into_iter()
         .map(|(seq, files)| {
             let mut ranked: Vec<(FileId, u64)> = files.into_iter().collect();
@@ -61,7 +61,7 @@ pub fn run(
     let traversal = trav_timer.elapsed();
 
     (
-        RankedInvertedIndexResult { l, postings },
+        RankedInvertedIndexResult::from_unsorted_rows(l, rows),
         PhaseTimings {
             init,
             traversal,

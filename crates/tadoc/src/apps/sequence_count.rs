@@ -53,7 +53,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag, l: usize) -> (SequenceCountResult,
     let traversal = trav_timer.elapsed();
 
     (
-        SequenceCountResult { l, counts },
+        SequenceCountResult::from_unsorted_pairs(l, counts.into_iter().collect()),
         PhaseTimings {
             init,
             traversal,
@@ -100,11 +100,15 @@ mod tests {
         let (archive, dag) = build(&corpus);
         let (result, _) = run(&archive, &dag, 3);
         assert!(
-            result.counts.is_empty(),
+            result.is_empty(),
             "no file has 3 words, so no sequence may be counted"
         );
         let (result2, _) = run(&archive, &dag, 2);
-        assert_eq!(result2.counts.len(), 2, "only in-file bigrams are counted");
+        assert_eq!(
+            result2.distinct_sequences(),
+            2,
+            "only in-file bigrams are counted"
+        );
     }
 
     #[test]
@@ -115,7 +119,7 @@ mod tests {
         let p = archive.dictionary.get("p").unwrap();
         let q = archive.dictionary.get("q").unwrap();
         let r = archive.dictionary.get("r").unwrap();
-        assert_eq!(result.counts[&vec![p, q, r]], 3);
+        assert_eq!(result.count(&[p, q, r]), 3);
         assert_eq!(result.total_occurrences(), 7);
     }
 

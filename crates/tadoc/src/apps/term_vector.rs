@@ -63,7 +63,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (TermVectorResult, PhaseTimings
     let traversal = trav_timer.elapsed();
 
     (
-        TermVectorResult { vectors },
+        TermVectorResult::from_rows(vectors),
         PhaseTimings {
             init,
             traversal,
@@ -153,7 +153,7 @@ mod tests {
         let fw = file_weights(&archive.grammar, &dag, &mut work);
         for f in 0..archive.num_files() as FileId {
             let single = term_vector_for_file(&archive.grammar, &dag, &fw, f);
-            assert_eq!(single, full.vectors[f as usize], "file {f}");
+            assert_eq!(single, full.vector(f), "file {f}");
         }
     }
 }

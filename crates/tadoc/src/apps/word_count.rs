@@ -57,7 +57,7 @@ pub fn run(archive: &TadocArchive, dag: &Dag) -> (WordCountResult, PhaseTimings)
     );
 
     (
-        WordCountResult { counts },
+        WordCountResult::from_unsorted_pairs(counts.into_iter().collect()),
         PhaseTimings {
             init,
             traversal,
@@ -92,10 +92,10 @@ mod tests {
         let w2 = archive.dictionary.get("w2").unwrap();
         let w3 = archive.dictionary.get("w3").unwrap();
         let w4 = archive.dictionary.get("w4").unwrap();
-        assert_eq!(result.counts[&w1], 6);
-        assert_eq!(result.counts[&w2], 5);
-        assert_eq!(result.counts[&w3], 2);
-        assert_eq!(result.counts[&w4], 2);
+        assert_eq!(result.count(w1), 6);
+        assert_eq!(result.count(w2), 5);
+        assert_eq!(result.count(w3), 2);
+        assert_eq!(result.count(w4), 2);
     }
 
     #[test]

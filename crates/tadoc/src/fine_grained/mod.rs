@@ -80,6 +80,7 @@ pub mod engine;
 pub mod exec;
 pub mod file_csr;
 pub mod head_tail;
+pub mod merge;
 pub(crate) mod scratch;
 pub mod sequences;
 
@@ -94,10 +95,10 @@ use crate::timing::{PhaseTimings, Timer, WorkStats};
 use arena::shard::{sort_fold, CountEntry, MaskEntry, ShardBuf};
 use engine::{Analysis, FineCtx, RunCharge};
 use exec::{DisjointSlots, WorkerPool};
+use merge::{par_merge_postings, par_merge_rows, PostingRun};
 use scratch::ScratchPool;
 use file_csr::FileCsr;
 use sequences::{count_range_windows, count_root_chunk, root_chunks, RootChunk};
-use sequitur::fxhash::FxHashMap;
 use sequitur::{Dag, Grammar, Symbol, TadocArchive, WordId};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -482,22 +483,11 @@ where
     pool.map_workers(by_shard, |_s, pieces| merge(pieces))
 }
 
-/// Combines the disjoint per-shard result rows into the final table: shards
-/// partition the key space, so this is the *only* hash insert per distinct
-/// key on the whole merge path (the shard merges themselves are sort + fold
-/// over [`ShardBuf`]s).
-fn collect_shard_rows<K: Eq + std::hash::Hash, V>(
-    shard_rows: Vec<Vec<(K, V)>>,
-    work: &mut WorkStats,
-) -> FxHashMap<K, V> {
-    let mut out: FxHashMap<K, V> = FxHashMap::default();
-    out.reserve(shard_rows.iter().map(|r| r.len()).sum());
-    for rows in shard_rows {
-        work.table_ops += rows.len() as u64;
-        out.extend(rows);
-    }
-    out
-}
+// The per-shard sorted runs produced by `merge_sharded` feed straight into
+// the k-way merges of [`merge`] — there is no hash-table collection step
+// anywhere on the finalize path (the old `collect_shard_rows` re-inserted
+// every distinct key into an `FxHashMap`; the `no-hash-finalize` xtask lint
+// keeps it from coming back).
 
 // ---------------------------------------------------------------------------
 // word count / sort
@@ -558,19 +548,25 @@ fn word_count_fine(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+    let shard_runs = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         ShardBuf::merge(pieces)
             .into_iter()
             .map(|e| (e.key, e.count))
             .collect::<Vec<(WordId, u64)>>()
     });
-    let counts = collect_shard_rows(shard_rows, &mut traversal_work);
-    let wc = WordCountResult { counts };
+    // Finalize: k-way merge the disjoint shard runs into the ordered
+    // columns — shards interleave in key order, so this is a real merge,
+    // but it touches each row exactly once and probes nothing.
+    let fin_timer = Timer::start();
+    let rows = par_merge_rows(shard_runs, pool, &mut traversal_work);
+    let (words, counts): (Vec<WordId>, Vec<u64>) = rows.into_iter().unzip();
+    let wc = WordCountResult::from_sorted_columns(words, counts);
     let output = if task == Task::WordCount {
         AnalyticsOutput::WordCount(wc)
     } else {
         AnalyticsOutput::Sort(SortResult::from_word_count(&wc))
     };
+    let finalize = fin_timer.elapsed();
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
@@ -581,6 +577,7 @@ fn word_count_fine(
             init_work,
             traversal_work,
             shared_init: charge.time,
+            finalize,
             warm: !charge.computed,
             ..Default::default()
         },
@@ -678,12 +675,12 @@ fn inverted_index_fine(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+    let shard_runs = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         // One sort + OR-fold per shard, then expand the sorted
-        // (word, block) mask runs into per-word posting lists (blocks and
-        // bits ascend, so the lists come out file-sorted).
+        // (word, block) mask runs straight into a columnar posting run
+        // (blocks and bits ascend, so the lists come out file-sorted).
         let entries = ShardBuf::merge(pieces);
-        let mut rows: Vec<(WordId, Vec<FileId>)> = Vec::new();
+        let mut run = PostingRun::<WordId, FileId>::default();
         let mut i = 0usize;
         while i < entries.len() {
             let w = entries[i].key.0;
@@ -694,31 +691,36 @@ fn inverted_index_fine(
                 .position(|e| e.key.0 != w)
                 .map_or(entries.len(), |p| i + p);
             let total: u32 = entries[i..run_end].iter().map(|e| e.mask.count_ones()).sum();
-            let mut files = Vec::with_capacity(total as usize);
+            run.values.reserve(total as usize);
             for e in &entries[i..run_end] {
                 let block = e.key.1;
                 let mut mask = e.mask;
                 while mask != 0 {
-                    files.push(block * 64 + mask.trailing_zeros());
+                    run.values.push(block * 64 + mask.trailing_zeros());
                     mask &= mask - 1;
                 }
             }
             i = run_end;
-            rows.push((w, files));
+            run.keys.push(w);
+            run.offsets.push(run.values.len());
         }
-        rows
+        run
     });
-    let postings = collect_shard_rows(shard_rows, &mut traversal_work);
+    let fin_timer = Timer::start();
+    let merged = par_merge_postings(shard_runs, pool, &mut traversal_work);
+    let result = InvertedIndexResult::from_sorted_parts(merged.keys, merged.offsets, merged.values);
+    let finalize = fin_timer.elapsed();
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
-        output: AnalyticsOutput::InvertedIndex(InvertedIndexResult { postings }),
+        output: AnalyticsOutput::InvertedIndex(result),
         timings: PhaseTimings {
             init,
             traversal,
             init_work,
             traversal_work,
             shared_init: charge.time,
+            finalize,
             warm: !charge.computed,
             ..Default::default()
         },
@@ -1041,6 +1043,10 @@ fn term_vector_fine(
     // all-zero invariant — return the lease to the pool for the next query.
     lease.mark_clean();
 
+    // Finalize: file ownership is disjoint, so the "merge" is a plain
+    // scatter of finished vectors followed by one flattening pass into the
+    // CSR columns.
+    let fin_timer = Timer::start();
     let mut vectors: Vec<Vec<(WordId, u64)>> = vec![Vec::new(); num_files];
     let mut traversal_work = WorkStats::default();
     for (worker_vectors, stats) in locals {
@@ -1049,16 +1055,19 @@ fn term_vector_fine(
             vectors[f] = v;
         }
     }
+    let result = TermVectorResult::from_rows(vectors);
+    let finalize = fin_timer.elapsed();
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
-        output: AnalyticsOutput::TermVector(TermVectorResult { vectors }),
+        output: AnalyticsOutput::TermVector(result),
         timings: PhaseTimings {
             init,
             traversal,
             init_work,
             traversal_work,
             shared_init: charge.time,
+            finalize,
             warm: !charge.computed,
             ..Default::default()
         },
@@ -1172,23 +1181,29 @@ fn sequence_count_fine_impl<K: sequences::SeqKey>(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+    let shard_runs = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         ShardBuf::merge(pieces)
             .into_iter()
-            .map(|e| (e.key.decode(l), e.count))
-            .collect::<Vec<(Sequence, u64)>>()
+            .map(|e| (e.key, e.count))
+            .collect::<Vec<(K, u64)>>()
     });
-    let counts = collect_shard_rows(shard_rows, &mut traversal_work);
+    // Finalize: the key type picks the strategy — packed keys k-way merge
+    // in parallel and decode into the flat arena, owned keys merge
+    // serially by move (see `SeqKey`).
+    let fin_timer = Timer::start();
+    let result = K::finalize_counts(l, shard_runs, pool, &mut traversal_work);
+    let finalize = fin_timer.elapsed();
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
-        output: AnalyticsOutput::SequenceCount(SequenceCountResult { l, counts }),
+        output: AnalyticsOutput::SequenceCount(result),
         timings: PhaseTimings {
             init,
             traversal,
             init_work,
             traversal_work,
             shared_init: charge.time,
+            finalize,
             warm: !charge.computed,
             ..Default::default()
         },
@@ -1292,38 +1307,27 @@ fn ranked_inverted_index_fine_impl<K: sequences::SeqKey>(
         });
 
     let mut traversal_work = WorkStats::default();
-    let shard_rows = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
+    let shard_runs = merge_sharded(locals, pool, &mut traversal_work, |pieces| {
         // One sort + fold per shard, then slice the ((key, file), count)
-        // runs into per-sequence postings ranked by in-file frequency.
-        let entries = ShardBuf::merge(pieces);
-        let mut rows: Vec<(Sequence, Vec<(FileId, u64)>)> = Vec::new();
-        let mut iter = entries.into_iter().peekable();
-        while let Some(e) = iter.next() {
-            let (key, f) = e.key;
-            let mut files: Vec<(FileId, u64)> = vec![(f, e.count)];
-            while let Some(next) = iter.peek() {
-                if next.key.0 != key {
-                    break;
-                }
-                let next = iter.next().expect("peeked entry vanished");
-                files.push((next.key.1, next.count));
-            }
-            files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            rows.push((key.decode(l), files));
-        }
-        rows
+        // runs into per-sequence postings ranked by in-file frequency —
+        // columnar posting runs for packed keys, owned rows for the
+        // fallback (see `SeqKey::ranked_run_from_entries`).
+        K::ranked_run_from_entries(ShardBuf::merge(pieces))
     });
-    let postings = collect_shard_rows(shard_rows, &mut traversal_work);
+    let fin_timer = Timer::start();
+    let result = K::finalize_ranked(l, shard_runs, pool, &mut traversal_work);
+    let finalize = fin_timer.elapsed();
     let traversal = trav_timer.elapsed();
 
     TaskExecution {
-        output: AnalyticsOutput::RankedInvertedIndex(RankedInvertedIndexResult { l, postings }),
+        output: AnalyticsOutput::RankedInvertedIndex(result),
         timings: PhaseTimings {
             init,
             traversal,
             init_work,
             traversal_work,
             shared_init: charge.time,
+            finalize,
             warm: !charge.computed,
             ..Default::default()
         },
@@ -1335,6 +1339,7 @@ mod tests {
     use super::*;
     use crate::weights;
     use sequitur::compress::{compress_corpus, CompressOptions};
+    use sequitur::fxhash::FxHashMap;
 
     fn build(corpus: &[(String, String)]) -> (TadocArchive, Dag) {
         let archive = compress_corpus(corpus, CompressOptions::default());

@@ -15,8 +15,12 @@
 //! head/tail (or full short expansion) of each sub-rule (Figure 6), so no
 //! recursive expansion is ever needed.
 
+use super::exec::WorkerPool;
 use super::head_tail::HeadTail;
-use crate::results::{FileId, Sequence};
+use super::merge::{kway_merge_rows, par_merge_postings, par_merge_rows, PostingRun};
+use crate::results::{FileId, RankedInvertedIndexResult, Sequence, SequenceCountResult};
+use crate::timing::WorkStats;
+use arena::shard::CountEntry;
 use sequitur::Symbol;
 
 /// Maximum sequence length that can be packed into a 64-bit key
@@ -46,28 +50,92 @@ pub fn pack_sequence(seq: &[u32]) -> u64 {
 /// Inverse of [`pack_sequence`].
 pub fn unpack_sequence(key: u64, l: usize) -> Vec<u32> {
     let mut out = vec![0u32; l];
+    unpack_sequence_into(key, &mut out);
+    out
+}
+
+/// Writes the unpacked words of `key` into `out` (its length is the
+/// sequence length) — the allocation-free form of [`unpack_sequence`] the
+/// finalizers use to decode a merged key column straight into a flat arena.
+pub fn unpack_sequence_into(key: u64, out: &mut [u32]) {
     let mut k = key;
-    for i in (0..l).rev() {
-        out[i] = (k & WORD_MASK) as u32;
+    for slot in out.iter_mut().rev() {
+        *slot = (k & WORD_MASK) as u32;
         k >>= WORD_BITS;
     }
-    out
 }
 
 /// A sortable key for sequence windows: either the packed 64-bit form
 /// (the hot path — no allocation per window) or the owned word vector.
 /// `Ord` is what the append-and-compact shard buffers sort and fold by;
 /// `Hash` routes keys to merge shards.
+///
+/// The key type also picks the *finalize* strategy that turns per-shard
+/// sorted runs into the ordered columnar results: packed `u64` keys merge
+/// with the parallel range-partitioned merges of [`super::merge`] and
+/// decode into the flat key arena afterwards (the packed form is
+/// MSB-first with a uniform length tag, so ascending `u64` order *is*
+/// ascending lexicographic word order for a fixed `l`); owned `Sequence`
+/// keys fall back to the serial move-based merge, which never clones a
+/// key vector.
 pub trait SeqKey: Eq + Ord + Clone + std::hash::Hash + Send {
+    /// Per-shard output of the ranked-inverted-index shard merge for this
+    /// key type: columnar [`PostingRun`]s for packed keys, owned rows for
+    /// the fallback.
+    type RankedRun: Send + Default;
+
     /// Encodes a window.
     fn encode(words: &[u32]) -> Self;
     /// Decodes back into the result-map key.
     fn decode(self, l: usize) -> Sequence;
     /// A 64-bit hash for merge sharding.
     fn hash64(&self) -> u64;
+
+    /// Converts one shard's sorted, duplicate-free `((key, file), count)`
+    /// entries into that shard's ranked posting run: consecutive entries
+    /// with the same key become one posting list sorted by descending
+    /// count, then ascending file (the ranked-index tie-break).
+    fn ranked_run_from_entries(entries: Vec<CountEntry<(Self, FileId)>>) -> Self::RankedRun
+    where
+        Self: Sized;
+
+    /// Merges the per-shard `(key, count)` runs into the final ordered
+    /// [`SequenceCountResult`].
+    fn finalize_counts(
+        l: usize,
+        runs: Vec<Vec<(Self, u64)>>,
+        pool: &WorkerPool,
+        work: &mut WorkStats,
+    ) -> SequenceCountResult
+    where
+        Self: Sized;
+
+    /// Merges the per-shard ranked runs into the final ordered
+    /// [`RankedInvertedIndexResult`].
+    fn finalize_ranked(
+        l: usize,
+        runs: Vec<Self::RankedRun>,
+        pool: &WorkerPool,
+        work: &mut WorkStats,
+    ) -> RankedInvertedIndexResult
+    where
+        Self: Sized;
+}
+
+/// Decodes a merged packed-key column into the flat `u32` arena the
+/// columnar results store (`keys.len() * l` words, lexicographic order
+/// preserved because packed order equals word order for fixed `l`).
+fn unpack_key_column(keys: &[u64], l: usize) -> Vec<u32> {
+    let mut flat = vec![0u32; keys.len() * l];
+    for (i, &key) in keys.iter().enumerate() {
+        unpack_sequence_into(key, &mut flat[i * l..(i + 1) * l]);
+    }
+    flat
 }
 
 impl SeqKey for u64 {
+    type RankedRun = PostingRun<u64, (FileId, u64)>;
+
     #[inline]
     fn encode(words: &[u32]) -> Self {
         pack_sequence(words)
@@ -79,9 +147,55 @@ impl SeqKey for u64 {
     fn hash64(&self) -> u64 {
         *self
     }
+
+    fn ranked_run_from_entries(entries: Vec<CountEntry<(Self, FileId)>>) -> Self::RankedRun {
+        let mut run = PostingRun::default();
+        let mut i = 0usize;
+        while i < entries.len() {
+            let key = entries[i].key.0;
+            let start = run.values.len();
+            while i < entries.len() && entries[i].key.0 == key {
+                run.values.push((entries[i].key.1, entries[i].count));
+                i += 1;
+            }
+            run.values[start..].sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            run.keys.push(key);
+            run.offsets.push(run.values.len());
+        }
+        run
+    }
+
+    fn finalize_counts(
+        l: usize,
+        runs: Vec<Vec<(Self, u64)>>,
+        pool: &WorkerPool,
+        work: &mut WorkStats,
+    ) -> SequenceCountResult {
+        let rows = par_merge_rows(runs, pool, work);
+        let mut keys = vec![0u32; rows.len() * l];
+        let mut counts = Vec::with_capacity(rows.len());
+        for (i, &(key, count)) in rows.iter().enumerate() {
+            unpack_sequence_into(key, &mut keys[i * l..(i + 1) * l]);
+            counts.push(count);
+        }
+        SequenceCountResult::from_sorted_columns(l, keys, counts)
+    }
+
+    fn finalize_ranked(
+        l: usize,
+        runs: Vec<Self::RankedRun>,
+        pool: &WorkerPool,
+        work: &mut WorkStats,
+    ) -> RankedInvertedIndexResult {
+        let merged = par_merge_postings(runs, pool, work);
+        let flat = unpack_key_column(&merged.keys, l);
+        RankedInvertedIndexResult::from_sorted_parts(l, flat, merged.offsets, merged.values)
+    }
 }
 
 impl SeqKey for Sequence {
+    type RankedRun = Vec<(Sequence, Vec<(FileId, u64)>)>;
+
     #[inline]
     fn encode(words: &[u32]) -> Self {
         words.to_vec()
@@ -92,6 +206,47 @@ impl SeqKey for Sequence {
     #[inline]
     fn hash64(&self) -> u64 {
         super::exec::sequence_hash(self)
+    }
+
+    fn ranked_run_from_entries(entries: Vec<CountEntry<(Self, FileId)>>) -> Self::RankedRun {
+        let mut rows: Vec<(Sequence, Vec<(FileId, u64)>)> = Vec::new();
+        let mut iter = entries.into_iter().peekable();
+        while let Some(e) = iter.next() {
+            let (key, file) = e.key;
+            let mut files = vec![(file, e.count)];
+            while let Some(next) = iter.peek() {
+                if next.key.0 != key {
+                    break;
+                }
+                let n = iter.next().expect("peeked entry present");
+                files.push((n.key.1, n.count));
+            }
+            files.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            rows.push((key, files));
+        }
+        rows
+    }
+
+    fn finalize_counts(
+        l: usize,
+        runs: Vec<Vec<(Self, u64)>>,
+        _pool: &WorkerPool,
+        work: &mut WorkStats,
+    ) -> SequenceCountResult {
+        let total: usize = runs.iter().map(Vec::len).sum();
+        work.bytes_moved += (total * (l + 2) * std::mem::size_of::<u64>()) as u64;
+        SequenceCountResult::from_unsorted_pairs(l, kway_merge_rows(runs))
+    }
+
+    fn finalize_ranked(
+        l: usize,
+        runs: Vec<Self::RankedRun>,
+        _pool: &WorkerPool,
+        work: &mut WorkStats,
+    ) -> RankedInvertedIndexResult {
+        let total: usize = runs.iter().map(Vec::len).sum();
+        work.bytes_moved += (total * (l + 2) * std::mem::size_of::<u64>()) as u64;
+        RankedInvertedIndexResult::from_unsorted_rows(l, kway_merge_rows(runs))
     }
 }
 
@@ -479,7 +634,7 @@ mod tests {
 
         let expected = oracle::sequence_count(&archive.grammar.expand_files(), l);
         let expected_map: FxHashMap<Vec<u32>, u64> =
-            expected.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            expected.iter().map(|(k, v)| (k.to_vec(), v)).collect();
         assert_eq!(counts, expected_map, "l = {l}");
     }
 

@@ -4,6 +4,10 @@
 //! The oracle is deliberately the most straightforward possible
 //! implementation; it is used (a) to validate both TADOC and G-TADOC in tests
 //! and (b) as the CPU *uncompressed* baseline of Section VI-E.
+//!
+//! Scratch hash maps are fine *during* the scan — the hash-free mandate
+//! applies to the fine-grained finalize path — but each result is converted
+//! to the ordered columnar form exactly once, at the end.
 
 use crate::results::*;
 use sequitur::fxhash::FxHashMap;
@@ -17,7 +21,7 @@ pub fn word_count(files: &[Vec<WordId>]) -> WordCountResult {
             *counts.entry(w).or_insert(0) += 1;
         }
     }
-    WordCountResult { counts }
+    WordCountResult::from_unsorted_pairs(counts.into_iter().collect())
 }
 
 /// Words ranked by global frequency.
@@ -37,7 +41,7 @@ pub fn inverted_index(files: &[Vec<WordId>]) -> InvertedIndexResult {
         }
     }
     // Files were visited in ascending order, so each posting list is sorted.
-    InvertedIndexResult { postings }
+    InvertedIndexResult::from_unsorted_rows(postings.into_iter().collect())
 }
 
 /// Per-file word-frequency vectors.
@@ -54,7 +58,7 @@ pub fn term_vector(files: &[Vec<WordId>]) -> TermVectorResult {
             v
         })
         .collect();
-    TermVectorResult { vectors }
+    TermVectorResult::from_rows(vectors)
 }
 
 /// Global counts of every `l`-word consecutive sequence.
@@ -69,7 +73,7 @@ pub fn sequence_count(files: &[Vec<WordId>], l: usize) -> SequenceCountResult {
             *counts.entry(window.to_vec()).or_insert(0) += 1;
         }
     }
-    SequenceCountResult { l, counts }
+    SequenceCountResult::from_unsorted_pairs(l, counts.into_iter().collect())
 }
 
 /// Every `l`-word sequence → files ranked by in-file frequency.
@@ -88,7 +92,7 @@ pub fn ranked_inverted_index(files: &[Vec<WordId>], l: usize) -> RankedInvertedI
                 .or_insert(0) += 1;
         }
     }
-    let postings = per_seq
+    let rows = per_seq
         .into_iter()
         .map(|(seq, files)| {
             let mut ranked: Vec<(FileId, u64)> = files.into_iter().collect();
@@ -96,7 +100,7 @@ pub fn ranked_inverted_index(files: &[Vec<WordId>], l: usize) -> RankedInvertedI
             (seq, ranked)
         })
         .collect();
-    RankedInvertedIndexResult { l, postings }
+    RankedInvertedIndexResult::from_unsorted_rows(l, rows)
 }
 
 #[cfg(test)]
@@ -112,10 +116,10 @@ mod tests {
     fn word_count_matches_figure_2() {
         let wc = word_count(&paper_files());
         // Paper Figure 2 final result: <w1,6>, <w2,5>, <w3,2>, <w4,2>
-        assert_eq!(wc.counts[&1], 6);
-        assert_eq!(wc.counts[&2], 5);
-        assert_eq!(wc.counts[&3], 2);
-        assert_eq!(wc.counts[&4], 2);
+        assert_eq!(wc.count(1), 6);
+        assert_eq!(wc.count(2), 5);
+        assert_eq!(wc.count(3), 2);
+        assert_eq!(wc.count(4), 2);
         assert_eq!(wc.distinct_words(), 4);
     }
 
@@ -146,9 +150,9 @@ mod tests {
     fn sequence_count_windows() {
         let sc = sequence_count(&paper_files(), 3);
         // fileA has windows: (1,2,3)x2 (2,3,1)x2 ... ; fileB has (1,2,1).
-        assert_eq!(sc.counts[&vec![1, 2, 3]], 2);
-        assert_eq!(sc.counts[&vec![1, 2, 1]], 1);
-        assert_eq!(sc.counts[&vec![1, 2, 4]], 2);
+        assert_eq!(sc.count(&[1, 2, 3]), 2);
+        assert_eq!(sc.count(&[1, 2, 1]), 1);
+        assert_eq!(sc.count(&[1, 2, 4]), 2);
         let total: u64 = sc.total_occurrences();
         assert_eq!(total, (12 - 2) + (3 - 2));
     }
@@ -156,7 +160,7 @@ mod tests {
     #[test]
     fn sequence_count_short_files_are_skipped() {
         let sc = sequence_count(&[vec![1, 2], vec![5]], 3);
-        assert!(sc.counts.is_empty());
+        assert!(sc.is_empty());
     }
 
     #[test]
@@ -179,7 +183,7 @@ mod tests {
         let files = paper_files();
         let sc = sequence_count(&files, 1);
         let wc = word_count(&files);
-        assert_eq!(sc.counts[&vec![1]], wc.counts[&1]);
-        assert_eq!(sc.counts.len(), wc.counts.len());
+        assert_eq!(sc.count(&[1]), wc.count(1));
+        assert_eq!(sc.distinct_sequences(), wc.distinct_words());
     }
 }

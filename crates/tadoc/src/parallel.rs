@@ -156,7 +156,7 @@ fn run_on_file_subset(
                 }
                 work.elements_scanned += dag.rule_lengths[r] as u64;
             }
-            let wc = WordCountResult { counts };
+            let wc = WordCountResult::from_unsorted_pairs(counts.into_iter().collect());
             if task == Task::WordCount {
                 (AnalyticsOutput::WordCount(wc), work)
             } else {
@@ -184,7 +184,7 @@ fn run_on_file_subset(
                     }
                 }
             }
-            let postings = sets
+            let rows = sets
                 .into_iter()
                 .map(|(w, s)| {
                     let mut v: Vec<FileId> = s.into_iter().collect();
@@ -193,7 +193,7 @@ fn run_on_file_subset(
                 })
                 .collect();
             (
-                AnalyticsOutput::InvertedIndex(InvertedIndexResult { postings }),
+                AnalyticsOutput::InvertedIndex(InvertedIndexResult::from_unsorted_rows(rows)),
                 work,
             )
         }
@@ -208,7 +208,7 @@ fn run_on_file_subset(
                 work.table_ops += vectors[f as usize].len() as u64;
             }
             (
-                AnalyticsOutput::TermVector(TermVectorResult { vectors }),
+                AnalyticsOutput::TermVector(TermVectorResult::from_rows(vectors)),
                 work,
             )
         }
@@ -230,7 +230,10 @@ fn run_on_file_subset(
                 });
             }
             (
-                AnalyticsOutput::SequenceCount(SequenceCountResult { l, counts }),
+                AnalyticsOutput::SequenceCount(SequenceCountResult::from_unsorted_pairs(
+                    l,
+                    counts.into_iter().collect(),
+                )),
                 work,
             )
         }
@@ -255,7 +258,7 @@ fn run_on_file_subset(
                     }
                 });
             }
-            let postings = per_seq
+            let rows = per_seq
                 .into_iter()
                 .map(|(seq, m)| {
                     let mut v: Vec<(FileId, u64)> = m.into_iter().collect();
@@ -264,7 +267,9 @@ fn run_on_file_subset(
                 })
                 .collect();
             (
-                AnalyticsOutput::RankedInvertedIndex(RankedInvertedIndexResult { l, postings }),
+                AnalyticsOutput::RankedInvertedIndex(RankedInvertedIndexResult::from_unsorted_rows(
+                    l, rows,
+                )),
                 work,
             )
         }
@@ -283,12 +288,14 @@ fn merge_outputs(
             let mut counts: FxHashMap<WordId, u64> = FxHashMap::default();
             for p in partials {
                 if let AnalyticsOutput::WordCount(r) = p {
-                    for (w, c) in r.counts {
+                    for (w, c) in r.iter() {
                         *counts.entry(w).or_insert(0) += c;
                     }
                 }
             }
-            AnalyticsOutput::WordCount(WordCountResult { counts })
+            AnalyticsOutput::WordCount(WordCountResult::from_unsorted_pairs(
+                counts.into_iter().collect(),
+            ))
         }
         Task::Sort => {
             let mut counts: FxHashMap<WordId, u64> = FxHashMap::default();
@@ -299,14 +306,15 @@ fn merge_outputs(
                     }
                 }
             }
-            AnalyticsOutput::Sort(SortResult::from_word_count(&WordCountResult { counts }))
+            let wc = WordCountResult::from_unsorted_pairs(counts.into_iter().collect());
+            AnalyticsOutput::Sort(SortResult::from_word_count(&wc))
         }
         Task::InvertedIndex => {
             let mut postings: FxHashMap<WordId, Vec<FileId>> = FxHashMap::default();
-            for p in partials {
+            for p in &partials {
                 if let AnalyticsOutput::InvertedIndex(r) = p {
-                    for (w, files) in r.postings {
-                        postings.entry(w).or_default().extend(files);
+                    for (w, files) in r.iter() {
+                        postings.entry(w).or_default().extend_from_slice(files);
                     }
                 }
             }
@@ -314,51 +322,53 @@ fn merge_outputs(
                 files.sort_unstable();
                 files.dedup();
             }
-            AnalyticsOutput::InvertedIndex(InvertedIndexResult { postings })
+            AnalyticsOutput::InvertedIndex(InvertedIndexResult::from_unsorted_rows(
+                postings.into_iter().collect(),
+            ))
         }
         Task::TermVector => {
             let mut vectors: Vec<Vec<(WordId, u64)>> = vec![Vec::new(); num_files];
-            for p in partials {
+            for p in &partials {
                 if let AnalyticsOutput::TermVector(r) = p {
-                    for (f, v) in r.vectors.into_iter().enumerate() {
+                    for (f, v) in r.iter().enumerate() {
                         if !v.is_empty() {
-                            vectors[f] = v;
+                            vectors[f] = v.to_vec();
                         }
                     }
                 }
             }
-            AnalyticsOutput::TermVector(TermVectorResult { vectors })
+            AnalyticsOutput::TermVector(TermVectorResult::from_rows(vectors))
         }
         Task::SequenceCount => {
             let mut counts: FxHashMap<Sequence, u64> = FxHashMap::default();
-            for p in partials {
+            for p in &partials {
                 if let AnalyticsOutput::SequenceCount(r) = p {
-                    for (s, c) in r.counts {
-                        *counts.entry(s).or_insert(0) += c;
+                    for (s, c) in r.iter() {
+                        *counts.entry(s.to_vec()).or_insert(0) += c;
                     }
                 }
             }
-            AnalyticsOutput::SequenceCount(SequenceCountResult {
-                l: cfg.sequence_length,
-                counts,
-            })
+            AnalyticsOutput::SequenceCount(SequenceCountResult::from_unsorted_pairs(
+                cfg.sequence_length,
+                counts.into_iter().collect(),
+            ))
         }
         Task::RankedInvertedIndex => {
             let mut postings: FxHashMap<Sequence, Vec<(FileId, u64)>> = FxHashMap::default();
-            for p in partials {
+            for p in &partials {
                 if let AnalyticsOutput::RankedInvertedIndex(r) = p {
-                    for (s, v) in r.postings {
-                        postings.entry(s).or_default().extend(v);
+                    for (s, v) in r.iter() {
+                        postings.entry(s.to_vec()).or_default().extend_from_slice(v);
                     }
                 }
             }
             for v in postings.values_mut() {
                 v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             }
-            AnalyticsOutput::RankedInvertedIndex(RankedInvertedIndexResult {
-                l: cfg.sequence_length,
-                postings,
-            })
+            AnalyticsOutput::RankedInvertedIndex(RankedInvertedIndexResult::from_unsorted_rows(
+                cfg.sequence_length,
+                postings.into_iter().collect(),
+            ))
         }
     }
 }

@@ -91,6 +91,13 @@ pub struct PhaseTimings {
     /// this on every call; the sequential and coarse paths do not break out
     /// a shared portion and leave it zero.
     pub shared_init: Duration,
+    /// Portion of `traversal` spent turning shard rows into the final
+    /// [`AnalyticsOutput`](crate::results::AnalyticsOutput): merging the
+    /// per-shard sorted runs and building the ordered columnar tables.
+    /// Recorded by the fine-grained finalizers; the sequential and coarse
+    /// paths, which interleave result construction with the scan, leave it
+    /// zero.
+    pub finalize: Duration,
     /// `true` when every shared artifact the task needed was served from a
     /// warm session cache (nothing was computed this run).  Always `false`
     /// for one-shot runs and for the sequential/coarse modes, which cache

@@ -84,8 +84,8 @@ mod tests {
         let (out, _) = run_cpu_uncompressed(&files(), Task::WordCount, TaskConfig::default());
         match out {
             AnalyticsOutput::WordCount(wc) => {
-                assert_eq!(wc.counts[&1], 6);
-                assert_eq!(wc.counts[&2], 5);
+                assert_eq!(wc.count(1), 6);
+                assert_eq!(wc.count(2), 5);
             }
             _ => panic!("wrong output variant"),
         }

@@ -1,0 +1,23 @@
+//! Seeded violation: a hash table rebuilt on the finalize path.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn finalize(rows: Vec<(u32, u64)>) -> HashMap<u32, u64> {
+    let mut table = HashMap::new();
+    for (k, v) in rows {
+        table.insert(k, v);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    // Allowed: tests may compare against a hash-built reference.
+    use std::collections::HashMap;
+
+    pub fn reference(rows: &[(u32, u64)]) -> HashMap<u32, u64> {
+        rows.iter().copied().collect()
+    }
+}

@@ -1,6 +1,6 @@
 //! The workspace lint rules.
 //!
-//! Five rules, each guarding an invariant the fine-grained engine's
+//! Six rules, each guarding an invariant the fine-grained engine's
 //! correctness argument rests on (see `ARCHITECTURE.md`, *Static analysis &
 //! race checking*):
 //!
@@ -11,6 +11,7 @@
 //! | `unwrap-ban`        | the session/arena layers return typed errors, never panic on `None`/`Err` |
 //! | `failpoint-gating`  | every `fail_point!` site is feature-gated through the manifest chain, so release builds compile it out |
 //! | `forbid-unsafe`     | unsafe stays confined to the allowlisted crates; everyone else carries `#![forbid(unsafe_code)]` |
+//! | `no-hash-finalize`  | the fine-grained finalize path stays hash-free: per-shard sorted runs merge into ordered columns, never back into a hash table |
 //!
 //! Any finding can be suppressed at the site with
 //! `// xtask-allow(<rule>): <reason>` on the same or the preceding line; an
@@ -31,7 +32,14 @@ pub const RULES: &[&str] = &[
     "unwrap-ban",
     "failpoint-gating",
     "forbid-unsafe",
+    "no-hash-finalize",
 ];
+
+/// Hash-table type names banned from the fine-grained finalize path.  The
+/// tentpole invariant is *zero hash probes after the traversal phase*: the
+/// per-shard sorted runs k-way merge straight into ordered columns, so any
+/// hash map re-appearing on these files is the old finalizer growing back.
+const HASH_TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
 
 /// Atomic methods that take an `Ordering` argument.
 const ATOMIC_METHODS: &[&str] = &[
@@ -103,6 +111,8 @@ pub struct Config {
     pub unsafe_allow: Vec<String>,
     /// Path fragments selecting the files under the text-level unwrap ban.
     pub unwrap_paths: Vec<String>,
+    /// Path fragments selecting the files under the hash-free finalize ban.
+    pub hash_finalize_paths: Vec<String>,
 }
 
 impl Config {
@@ -117,6 +127,7 @@ impl Config {
         Ok(Self {
             unsafe_allow: workspace::string_array(&text, "unsafe-crates", "allow"),
             unwrap_paths: workspace::string_array(&text, "unwrap-ban", "paths"),
+            hash_finalize_paths: workspace::string_array(&text, "no-hash-finalize", "paths"),
         })
     }
 }
@@ -151,6 +162,11 @@ fn lint_crate(
             path.to_string_lossy().replace('\\', "/").contains(frag.as_str())
         }) {
             file.unwrap_ban(out);
+        }
+        if config.hash_finalize_paths.iter().any(|frag| {
+            path.to_string_lossy().replace('\\', "/").contains(frag.as_str())
+        }) {
+            file.hash_finalize_ban(out);
         }
         file.malformed_suppressions(out);
         let sites = file.failpoint_sites();
@@ -636,6 +652,33 @@ impl<'s> FileLint<'s> {
                 "bare `.unwrap()` in an error-boundary module: return a typed error or \
                  `.expect(…)` with a written unreachability argument"
                     .to_string(),
+            );
+        }
+    }
+
+    /// Rule `no-hash-finalize` (only called for files under the configured
+    /// paths): no hash-table type may appear outside test modules and macro
+    /// definitions — the finalize path merges sorted runs into ordered
+    /// columns instead of folding them back into a map.
+    fn hash_finalize_ban(&self, out: &mut Vec<Violation>) {
+        for &i in &self.code {
+            let tok = &self.toks[i];
+            if tok.kind != TokenKind::Ident || !HASH_TYPES.contains(&self.text(tok)) {
+                continue;
+            }
+            if self.in_excluded(tok.start) {
+                continue;
+            }
+            self.report(
+                out,
+                "no-hash-finalize",
+                tok.line,
+                format!(
+                    "`{}` on the hash-free finalize path: merge the per-shard sorted \
+                     runs into ordered columns (`SortedTable`/`PostingTable`) instead \
+                     of rebuilding a hash table",
+                    self.text(tok)
+                ),
             );
         }
     }

@@ -78,6 +78,27 @@ fn forbid_unsafe_fixture_fails() {
 }
 
 #[test]
+fn no_hash_finalize_fixture_fails() {
+    let out = run_lint(&fixture_dir("no-hash-finalize"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "stdout:\n{stdout}");
+    // The test-module HashMap must NOT be flagged; the two production
+    // occurrences (return type + constructor) and the `use` must be.
+    assert!(stdout.contains("[no-hash-finalize]"), "{stdout}");
+    for finding in stdout.lines().filter(|l| l.contains("[no-hash-finalize]")) {
+        assert!(
+            !finding.contains("mod tests"),
+            "test-module use must be excluded:\n{stdout}"
+        );
+    }
+    let count = stdout.matches("[no-hash-finalize]").count();
+    assert_eq!(
+        count, 3,
+        "expected the three production HashMap tokens:\n{stdout}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes() {
     let out = run_lint(&fixture_dir("clean"));
     let stdout = String::from_utf8_lossy(&out.stdout);

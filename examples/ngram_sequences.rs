@@ -34,8 +34,8 @@ fn main() {
             result.distinct_sequences(),
             sc.total_seconds() * 1e3
         );
-        let mut top: Vec<(&Vec<u32>, &u64)> = result.counts.iter().collect();
-        top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let mut top: Vec<(&[u32], u64)> = result.iter().collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         println!("most frequent trigrams:");
         for (seq, count) in top.into_iter().take(8) {
             let words: Vec<&str> = seq.iter().map(|&w| archive.dictionary.word(w)).collect();
@@ -57,7 +57,6 @@ fn main() {
         );
         // Look up the most widely shared phrase.
         let best = result
-            .postings
             .iter()
             .max_by_key(|(_, files)| files.len())
             .expect("non-empty index");

@@ -55,9 +55,8 @@ fn main() {
     if let AnalyticsOutput::WordCount(result) = &wc.output {
         println!("\n== word count (Figure 2) ==");
         let mut rows: Vec<(String, u64)> = result
-            .counts
             .iter()
-            .map(|(&w, &c)| (archive.dictionary.word(w).to_string(), c))
+            .map(|(w, c)| (archive.dictionary.word(w).to_string(), c))
             .collect();
         rows.sort();
         for (word, count) in rows {

@@ -1,0 +1,87 @@
+//! Digest stability: `AnalyticsOutput::digest` is part of the serving
+//! contract (`bench::serve` compares every answer against oracle digests,
+//! and the results cache assumes a digest identifies an output).  These
+//! pinned values were captured from the hash-map-backed representation;
+//! the ordered columnar representation must reproduce them bit-for-bit,
+//! so a digest change can never slip in silently with a representation
+//! change.
+
+use g_tadoc_repro::prelude::*;
+use sequitur::Dag;
+
+fn fixed_corpus() -> Vec<(String, String)> {
+    vec![
+        (
+            "a.txt".to_string(),
+            "the cat sat on the mat the cat sat on the hat".to_string(),
+        ),
+        (
+            "b.txt".to_string(),
+            "the dog sat on the mat and the dog ran".to_string(),
+        ),
+        (
+            "c.txt".to_string(),
+            "cats and dogs ran on the mat".to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn digests_are_pinned_for_a_fixed_corpus() {
+    let archive = compress_corpus(&fixed_corpus(), CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let cfg = TaskConfig::default();
+    let mut got = Vec::new();
+    for task in Task::ALL {
+        let exec = run_task(&archive, &dag, task, cfg);
+        got.push((task.name(), exec.output.digest()));
+    }
+    for (name, digest) in &got {
+        println!("(\"{name}\", {digest:#018x}),");
+    }
+    assert_eq!(got.len(), PINNED.len(), "capture run — see stdout");
+    for ((gn, gd), (pn, pd)) in got.iter().zip(PINNED) {
+        assert_eq!(gn, pn);
+        assert_eq!(gd, pd, "digest for {gn} changed");
+    }
+}
+
+/// Captured from the pre-columnar (hash-map) representation; any edit to
+/// these constants is a serving-protocol break and must be deliberate.
+const PINNED: &[(&str, u64)] = &[
+    ("wordCount", 0x778160443b9c967e),
+    ("sort", 0x1e998616ac3e579a),
+    ("invertedIndex", 0x1662253040798f69),
+    ("termVector", 0x6358a37a785a8900),
+    ("sequenceCount", 0xbfef9c509b390012),
+    ("rankedInvertedIndex", 0xf26947889685c197),
+];
+
+/// The fine-grained engine must reproduce the same pinned digests at every
+/// thread count — the digest is computed from the ordered representation,
+/// so this also proves the parallel shard-run merge produces the same
+/// ordered table the sequential oracle does.
+#[test]
+fn fine_grained_digests_match_the_pinned_values() {
+    let archive = compress_corpus(&fixed_corpus(), CompressOptions::default());
+    let dag = Dag::from_grammar(&archive.grammar);
+    let cfg = TaskConfig::default();
+    for threads in [1, 4, 8] {
+        let fine = FineGrainedConfig::with_threads(threads);
+        for (task, &(name, pinned)) in Task::ALL.into_iter().zip(PINNED) {
+            assert_eq!(task.name(), name);
+            let exec = run_task_with_mode(
+                &archive,
+                &dag,
+                task,
+                cfg,
+                ExecutionMode::FineGrained(fine),
+            );
+            assert_eq!(
+                exec.output.digest(),
+                pinned,
+                "{name} digest diverged at {threads} threads"
+            );
+        }
+    }
+}

@@ -224,3 +224,103 @@ proptest! {
         }
     }
 }
+
+/// Strategy: up to 6 per-shard runs of `(key, value)` pairs (sorted by the
+/// tests before merging — the shim strategy has no `prop_map`).  Includes
+/// the adversarial cases: empty runs, single-key runs, duplicate keys both
+/// within and across runs.
+fn raw_runs() -> impl Strategy<Value = Vec<Vec<(u32, u64)>>> {
+    vec(vec((0u32..30, 0u64..1000), 0..40), 0..6)
+}
+
+/// Stable-sorts each run by key: the shape the fine-grained finalize merges.
+fn sort_runs(mut runs: Vec<Vec<(u32, u64)>>) -> Vec<Vec<(u32, u64)>> {
+    for run in &mut runs {
+        run.sort_by_key(|&(k, _)| k);
+    }
+    runs
+}
+
+/// The reference the k-way merges must equal: concatenate the runs in order
+/// and stable-sort by key.
+fn concat_stable_sort(runs: &[Vec<(u32, u64)>]) -> Vec<(u32, u64)> {
+    let mut all: Vec<(u32, u64)> = runs.iter().flatten().copied().collect();
+    all.sort_by_key(|&(k, _)| k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The serial move-based k-way merge (the `Sequence` fallback path)
+    // equals the concat + stable-sort reference on adversarial runs.
+    #[test]
+    fn kway_merge_equals_concat_stable_sort(runs in raw_runs()) {
+        let runs = sort_runs(runs);
+        let reference = concat_stable_sort(&runs);
+        let merged = tadoc::fine_grained::merge::kway_merge_rows(runs);
+        prop_assert_eq!(merged, reference);
+    }
+
+    // The parallel segmented merge agrees with the same reference at every
+    // pool width; amplification repeats each pair in place (keys stay
+    // sorted) so larger instances cross the parallel threshold and exercise
+    // the splitter-partitioned path, not just the serial fallback.
+    #[test]
+    fn par_merge_equals_concat_stable_sort(runs in raw_runs(), wide in 0usize..2) {
+        let amplify = if wide == 0 { 1u64 } else { 64 };
+        let runs: Vec<Vec<(u32, u64)>> = sort_runs(runs)
+            .into_iter()
+            .map(|run| {
+                run.into_iter()
+                    .flat_map(|(k, v)| (0..amplify).map(move |i| (k, v + i)))
+                    .collect()
+            })
+            .collect();
+        let reference = concat_stable_sort(&runs);
+        for threads in [1usize, 4, 8] {
+            let pool = tadoc::fine_grained::exec::WorkerPool::new(threads);
+            let mut work = WorkStats::default();
+            let merged =
+                tadoc::fine_grained::merge::par_merge_rows(runs.clone(), &pool, &mut work);
+            prop_assert_eq!(&merged, &reference, "threads = {}", threads);
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases: each runs all six tasks at three pool widths.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Round-trip equality of the ordered columnar results against the
+    // hash-built sequential oracle: every task's fine-grained output (built
+    // by the k-way merge, no hash table) must equal the oracle's (built in
+    // a hash map and converted once) at 1, 4, and 8 threads.
+    #[test]
+    fn ordered_results_equal_hash_built_oracle_across_tasks(files in token_files()) {
+        let archive = archive_from_tokens(&files);
+        let dag = Dag::from_grammar(&archive.grammar);
+        let cfg = tadoc::TaskConfig::default();
+        for task in Task::ALL {
+            let reference = tadoc::run_task(&archive, &dag, task, cfg).output;
+            for threads in [1usize, 4, 8] {
+                let fine = tadoc::fine_grained::run_task_with_mode(
+                    &archive,
+                    &dag,
+                    task,
+                    cfg,
+                    tadoc::fine_grained::ExecutionMode::FineGrained(
+                        tadoc::fine_grained::FineGrainedConfig::with_threads(threads),
+                    ),
+                );
+                prop_assert_eq!(
+                    &fine.output,
+                    &reference,
+                    "task {} at {} threads",
+                    task.name(),
+                    threads
+                );
+            }
+        }
+    }
+}
