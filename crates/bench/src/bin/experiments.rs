@@ -33,6 +33,11 @@
 //!          --mix <name>     serve task mix: all|counting|sequences
 //!                           (default all)
 //!          --no-cache       disable the results cache for `serve`
+//!          --transport <t>  serve transport: in-process|tcp|both
+//!                           (default both; `tcp` drives a real loopback
+//!                           tadoc-server over the wire protocol)
+//!          --queue-depth <n> admission queue capacity for the tcp
+//!                           transport (default 64)
 //!          --serve-out <path> JSON output of the `serve` bench
 //!                           (default BENCH_serve.json)
 //! ```
@@ -45,7 +50,7 @@
 //! the `serve-gate` CI job runs it at reduced scale.
 
 use bench::experiments::{self, ExperimentScale};
-use bench::serve::{self, ServeMix};
+use bench::serve::{self, ServeMix, ServeTransport};
 use datagen::DatasetId;
 
 fn main() {
@@ -60,6 +65,8 @@ fn main() {
     let mut mix = ServeMix::All;
     let mut results_cache = true;
     let mut serve_out = "BENCH_serve.json".to_string();
+    let mut transports = vec![ServeTransport::InProcess, ServeTransport::Tcp];
+    let mut queue_depth = 64usize;
     let mut datasets = vec![DatasetId::A, DatasetId::B];
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
@@ -164,6 +171,34 @@ fn main() {
                     });
             }
             "--no-cache" => results_cache = false,
+            "--transport" => {
+                i += 1;
+                transports = match args.get(i).map(String::as_str) {
+                    Some("both") => vec![ServeTransport::InProcess, ServeTransport::Tcp],
+                    Some(name) => match ServeTransport::parse(name) {
+                        Some(t) => vec![t],
+                        None => {
+                            eprintln!("--transport requires one of: in-process, tcp, both");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--transport requires one of: in-process, tcp, both");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--queue-depth" => {
+                i += 1;
+                queue_depth = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--queue-depth requires a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--serve-out" => {
                 i += 1;
                 serve_out = args.get(i).cloned().unwrap_or_else(|| {
@@ -202,6 +237,8 @@ fn main() {
                 duration_ms,
                 mix,
                 results_cache,
+                &transports,
+                queue_depth,
                 &serve_out,
                 &datasets,
             ),
@@ -279,23 +316,33 @@ fn run_serve_bench(
     duration_ms: u64,
     mix: ServeMix,
     results_cache: bool,
+    transports: &[ServeTransport],
+    queue_depth: usize,
     out: &str,
     datasets: &[DatasetId],
 ) {
     let mut reports = Vec::new();
     for &id in datasets {
-        let report = serve::run_serve(serve::ServeConfig {
-            dataset: id,
-            scale,
-            clients,
-            threads,
-            duration: std::time::Duration::from_millis(duration_ms),
-            mix,
-            results_cache,
-        });
-        print!("{}", report.render());
-        println!();
-        reports.push(report);
+        for &transport in transports {
+            let report = serve::run_serve(serve::ServeConfig {
+                dataset: id,
+                scale,
+                clients,
+                threads,
+                duration: std::time::Duration::from_millis(duration_ms),
+                mix,
+                results_cache,
+                transport,
+                queue_depth,
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("serve bench failed ({}, {}): {e}", id.label(), transport.name());
+                std::process::exit(1);
+            });
+            print!("{}", report.render());
+            println!();
+            reports.push(report);
+        }
     }
     let problems: Vec<String> = reports
         .iter()
@@ -321,7 +368,8 @@ fn print_usage() {
     println!(
         "usage: experiments [--scale <f>] [--threads <n>] [--reps <n>] [--out <path>] \
          [--dataset <A,B,...>] [--warm] [--clients <n>] [--duration-ms <n>] \
-         [--mix <all|counting|sequences>] [--no-cache] [--serve-out <path>] \
+         [--mix <all|counting|sequences>] [--no-cache] \
+         [--transport <in-process|tcp|both>] [--queue-depth <n>] [--serve-out <path>] \
          <table1|table2|fig9|fig10|summary|traversal|uncompressed|ablation|fine|serve|all>..."
     );
 }

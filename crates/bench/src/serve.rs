@@ -1,4 +1,4 @@
-//! In-process serving load generator: the `experiments -- serve` command.
+//! Serving load generator: the `experiments -- serve` command.
 //!
 //! The ROADMAP's north star is serving heavy query traffic over compressed
 //! archives, so the headline number of the serving milestone is not a
@@ -8,16 +8,27 @@
 //! records p50/p99 latency, queries/sec, and the results-cache hit rate —
 //! committed as `BENCH_serve.json` next to `BENCH_fine_grained.json`.
 //!
+//! Two transports share the same load loop and report schema:
+//! [`ServeTransport::InProcess`] calls `Engine::run` directly (measures the
+//! engine's concurrency machinery alone), and [`ServeTransport::Tcp`]
+//! drives a real `tadoc-server` over loopback through the wire protocol —
+//! framing, admission queue, shedding, and executor batching included — and
+//! folds the server's counters (shed, max queue depth, batches) into the
+//! report's `tcp` block.
+//!
 //! Every answer is digest-checked against the sequential oracle (computed
 //! once per distinct key before the clock starts), so the load test is also
 //! a correctness test: a single divergent answer fails schema validation
 //! and the `serve-gate` CI job.
 
-use crate::experiments::{prepare_dataset, ExperimentScale};
+use crate::experiments::{prepare_dataset, ExperimentScale, PreparedDataset};
 use datagen::DatasetId;
+use server::client::{Client, QueryOutcome};
+use server::server::{Server, ServerConfig, ServerError};
+use server::WireErrorCode;
 use std::time::{Duration, Instant};
 use tadoc::apps::{Task, TaskConfig};
-use tadoc::fine_grained::Engine;
+use tadoc::fine_grained::{Engine, EngineError};
 
 /// Which `(task, cfg)` keys the clients cycle through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +92,34 @@ impl ServeMix {
     }
 }
 
+/// How the load generator reaches the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeTransport {
+    /// Clients call `Engine::run` directly on shared memory.
+    InProcess,
+    /// Clients speak the wire protocol to a real server on loopback.
+    Tcp,
+}
+
+impl ServeTransport {
+    /// Parses the `--transport` flag value.
+    pub fn parse(s: &str) -> Option<ServeTransport> {
+        match s {
+            "in-process" => Some(ServeTransport::InProcess),
+            "tcp" => Some(ServeTransport::Tcp),
+            _ => None,
+        }
+    }
+
+    /// Flag-value name of the transport.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeTransport::InProcess => "in-process",
+            ServeTransport::Tcp => "tcp",
+        }
+    }
+}
+
 /// Configuration of one serve run.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
@@ -98,6 +137,49 @@ pub struct ServeConfig {
     pub mix: ServeMix,
     /// Whether the engine caches whole task outputs.
     pub results_cache: bool,
+    /// Transport between clients and engine.
+    pub transport: ServeTransport,
+    /// Admission queue capacity (TCP transport only).
+    pub queue_depth: usize,
+}
+
+/// A serve run that could not produce a report (per-query problems — wrong
+/// digests, shed requests — are *counted in* the report instead).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The engine session could not be built.
+    Engine(EngineError),
+    /// The loopback server failed to start or crashed.
+    Server(ServerError),
+    /// A client hit a transport or protocol failure mid-run.
+    Client(String),
+    /// A client thread panicked.
+    ClientPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "serve engine failed to build: {e}"),
+            ServeError::Server(e) => write!(f, "loopback server failed: {e}"),
+            ServeError::Client(msg) => write!(f, "serve client failed: {msg}"),
+            ServeError::ClientPanicked(msg) => write!(f, "serve client panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<ServerError> for ServeError {
+    fn from(e: ServerError) -> Self {
+        ServeError::Server(e)
+    }
 }
 
 /// Per-key traffic accounting of one serve run.
@@ -111,12 +193,42 @@ pub struct KeyTraffic {
     pub queries: u64,
 }
 
+/// Server-side counters of one TCP serve run, fetched from the real server
+/// after shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpServeStats {
+    /// Queries the server answered with a result or a typed error.
+    pub queries_answered: u64,
+    /// Requests shed with `Overloaded` (server counter).
+    pub shed: u64,
+    /// `Overloaded` answers the clients observed (must equal `shed`).
+    pub client_observed_shed: u64,
+    /// Requests refused with `ShuttingDown` during drain.
+    pub refused: u64,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: u64,
+    /// Configured admission queue capacity.
+    pub queue_capacity: u64,
+    /// Batches drained by the executors.
+    pub batches: u64,
+    /// Queries that ran as part of a multi-query `run_all` batch.
+    pub batched_queries: u64,
+    /// Connections the server accepted.
+    pub accepted_connections: u64,
+    /// Frames the server failed to parse (must be zero under this load).
+    pub protocol_errors: u64,
+}
+
 /// The measured result of one serve run — everything `BENCH_serve.json`
 /// records for one dataset.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Dataset label.
     pub dataset: String,
+    /// Transport the clients used.
+    pub transport: ServeTransport,
+    /// Server-side counters (TCP transport only).
+    pub tcp: Option<TcpServeStats>,
     /// Dataset scale factor.
     pub scale: f64,
     /// Closed-loop client threads.
@@ -214,11 +326,52 @@ impl ServeReport {
         if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
             problems.push(format!("{label}: invalid cache hit rate {rate}"));
         }
-        if self.cache_enabled && self.cache_hits + self.cache_misses != self.total_queries {
+        // Over TCP the cache counters live inside the server and are not
+        // part of the wire stats, so the probe reconciliation only applies
+        // in-process.
+        if self.transport == ServeTransport::InProcess
+            && self.cache_enabled
+            && self.cache_hits + self.cache_misses != self.total_queries
+        {
             problems.push(format!(
                 "{label}: cache probes ({} + {}) do not reconcile with {} queries",
                 self.cache_hits, self.cache_misses, self.total_queries
             ));
+        }
+        match (self.transport, &self.tcp) {
+            (ServeTransport::Tcp, None) => {
+                problems.push(format!("{label}: tcp transport without a tcp stats block"));
+            }
+            (ServeTransport::InProcess, Some(_)) => {
+                problems.push(format!("{label}: in-process transport with a tcp stats block"));
+            }
+            (ServeTransport::Tcp, Some(t)) => {
+                if t.protocol_errors != 0 {
+                    problems.push(format!(
+                        "{label}: server counted {} protocol errors under clean load",
+                        t.protocol_errors
+                    ));
+                }
+                if t.client_observed_shed != t.shed {
+                    problems.push(format!(
+                        "{label}: clients observed {} sheds but the server counted {}",
+                        t.client_observed_shed, t.shed
+                    ));
+                }
+                if t.max_queue_depth > t.queue_capacity {
+                    problems.push(format!(
+                        "{label}: queue depth {} exceeded its capacity {} (unbounded queuing)",
+                        t.max_queue_depth, t.queue_capacity
+                    ));
+                }
+                if t.queries_answered < self.total_queries {
+                    problems.push(format!(
+                        "{label}: server answered {} queries but clients measured {}",
+                        t.queries_answered, self.total_queries
+                    ));
+                }
+            }
+            (ServeTransport::InProcess, None) => {}
         }
         let key_sum: u64 = self.per_key.iter().map(|k| k.queries).sum();
         if key_sum != self.total_queries {
@@ -234,9 +387,9 @@ impl ServeReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "SERVE (dataset {}, scale {:.3}): {} clients x {}ms against one {}-thread engine (mix {})\n",
-            self.dataset, self.scale, self.clients, self.duration_ms, self.threads,
-            self.mix.name()
+            "SERVE (dataset {}, scale {:.3}, {}): {} clients x {}ms against one {}-thread engine (mix {})\n",
+            self.dataset, self.scale, self.transport.name(), self.clients, self.duration_ms,
+            self.threads, self.mix.name()
         ));
         out.push_str(&format!(
             "  {} queries in {:.1}ms -> {:.0} qps | latency p50 {:.3}ms p99 {:.3}ms max {:.3}ms\n",
@@ -256,6 +409,20 @@ impl ServeReport {
             self.degraded,
             self.wrong_answers,
         ));
+        if let Some(t) = &self.tcp {
+            out.push_str(&format!(
+                "  tcp: {} shed / {} refused | max queue depth {}/{} | {} batches ({} batched) | \
+                 {} connections | {} protocol errors\n",
+                t.shed,
+                t.refused,
+                t.max_queue_depth,
+                t.queue_capacity,
+                t.batches,
+                t.batched_queries,
+                t.accepted_connections,
+                t.protocol_errors,
+            ));
+        }
         for k in &self.per_key {
             out.push_str(&format!(
                 "    {:<23} l={} {:>8} queries\n",
@@ -277,10 +444,49 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// What one client thread measured.
+struct ClientLog {
+    latencies_ns: Vec<u64>,
+    per_key: Vec<u64>,
+    wrong: u64,
+    degraded: u64,
+    shed: u64,
+}
+
+impl ClientLog {
+    fn new(keys: usize) -> Self {
+        Self {
+            latencies_ns: Vec::new(),
+            per_key: vec![0u64; keys],
+            wrong: 0,
+            degraded: 0,
+            shed: 0,
+        }
+    }
+}
+
+/// Unwraps a client thread's join result into a typed error.
+fn join_client(
+    res: std::thread::Result<Result<ClientLog, ServeError>>,
+) -> Result<ClientLog, ServeError> {
+    match res {
+        Ok(log) => log,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            Err(ServeError::ClientPanicked(msg.to_string()))
+        }
+    }
+}
+
 /// Runs one closed-loop load test: prepares the dataset, computes the
 /// oracle digest for every key of the mix, then lets `clients` threads
-/// query one shared engine until the duration elapses.
-pub fn run_serve(cfg: ServeConfig) -> ServeReport {
+/// query one shared engine — directly or through a loopback TCP server —
+/// until the duration elapses.
+pub fn run_serve(cfg: ServeConfig) -> Result<ServeReport, ServeError> {
     let prepared = prepare_dataset(cfg.dataset, cfg.scale);
     let keys = cfg.mix.keys();
 
@@ -295,42 +501,37 @@ pub fn run_serve(cfg: ServeConfig) -> ServeReport {
         })
         .collect();
 
+    match cfg.transport {
+        ServeTransport::InProcess => serve_in_process(cfg, &prepared, &keys, &oracle),
+        ServeTransport::Tcp => serve_tcp(cfg, &prepared, &keys, &oracle),
+    }
+}
+
+fn serve_in_process(
+    cfg: ServeConfig,
+    prepared: &PreparedDataset,
+    keys: &[(Task, TaskConfig)],
+    oracle: &[u64],
+) -> Result<ServeReport, ServeError> {
     let engine = Engine::builder(&prepared.archive, &prepared.dag)
         .threads(cfg.threads)
         .results_cache(cfg.results_cache)
-        .build()
-        .expect("serve engine configuration is valid");
-
-    struct ClientLog {
-        latencies_ns: Vec<u64>,
-        per_key: Vec<u64>,
-        wrong: u64,
-        degraded: u64,
-    }
+        .build()?;
 
     let started = Instant::now();
-    let logs: Vec<ClientLog> = std::thread::scope(|s| {
+    let logs: Result<Vec<ClientLog>, ServeError> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|c| {
                 let engine = &engine;
-                let keys = &keys;
-                let oracle = &oracle;
-                s.spawn(move || {
-                    let mut log = ClientLog {
-                        latencies_ns: Vec::new(),
-                        per_key: vec![0u64; keys.len()],
-                        wrong: 0,
-                        degraded: 0,
-                    };
+                s.spawn(move || -> Result<ClientLog, ServeError> {
+                    let mut log = ClientLog::new(keys.len());
                     // Offset by client id so different keys overlap in
                     // flight from the first instant.
                     let mut next = c % keys.len();
                     while started.elapsed() < cfg.duration {
                         let (task, task_cfg) = keys[next];
                         let t = Instant::now();
-                        let exec = engine
-                            .run(task, task_cfg)
-                            .expect("serve task configs are valid");
+                        let exec = engine.run(task, task_cfg)?;
                         log.latencies_ns.push(t.elapsed().as_nanos().max(1) as u64);
                         if exec.output.digest() != oracle[next] {
                             log.wrong += 1;
@@ -341,17 +542,145 @@ pub fn run_serve(cfg: ServeConfig) -> ServeReport {
                         log.per_key[next] += 1;
                         next = (next + 1) % keys.len();
                     }
-                    log
+                    Ok(log)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("serve client panicked"))
+            .map(|h| join_client(h.join()))
             .collect()
     });
     let elapsed_ns = started.elapsed().as_nanos() as u64;
+    let (cache_hits, cache_misses) = engine.results_cache_counters().unwrap_or((0, 0));
+    Ok(assemble_report(
+        cfg,
+        prepared,
+        keys,
+        logs?,
+        elapsed_ns,
+        (cache_hits, cache_misses),
+        None,
+    ))
+}
 
+fn serve_tcp(
+    cfg: ServeConfig,
+    prepared: &PreparedDataset,
+    keys: &[(Task, TaskConfig)],
+    oracle: &[u64],
+) -> Result<ServeReport, ServeError> {
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        ServerConfig {
+            // One handler per client: the protocol is one request in
+            // flight per connection, so fewer handlers would serialize
+            // clients behind each other instead of behind the engine.
+            handler_threads: cfg.clients.max(1),
+            queue_depth: cfg.queue_depth,
+            engine_threads: cfg.threads,
+            results_cache: cfg.results_cache,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    let mut server_outcome: Option<Result<server::StatsSnapshot, ServerError>> = None;
+    let started = Instant::now();
+    let logs: Result<Vec<ClientLog>, ServeError> = std::thread::scope(|s| {
+        let server_thread = s.spawn(|| server.run(&prepared.archive, &prepared.dag));
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                s.spawn(move || -> Result<ClientLog, ServeError> {
+                    let mut client = Client::connect(addr)
+                        .map_err(|e| ServeError::Client(format!("connect: {e}")))?;
+                    let mut log = ClientLog::new(keys.len());
+                    let mut next = c % keys.len();
+                    while started.elapsed() < cfg.duration {
+                        let (task, task_cfg) = keys[next];
+                        let t = Instant::now();
+                        let outcome = client
+                            .query(task, task_cfg)
+                            .map_err(|e| ServeError::Client(format!("query: {e}")))?;
+                        match outcome {
+                            QueryOutcome::Ok(out) => {
+                                log.latencies_ns.push(t.elapsed().as_nanos().max(1) as u64);
+                                if out.digest() != oracle[next] {
+                                    log.wrong += 1;
+                                }
+                                log.per_key[next] += 1;
+                            }
+                            QueryOutcome::Overloaded { .. } => log.shed += 1,
+                            QueryOutcome::Denied(e) if e.code == WireErrorCode::ShuttingDown => {
+                                break;
+                            }
+                            QueryOutcome::Denied(e) => {
+                                return Err(ServeError::Client(format!(
+                                    "query denied ({:?}): {}",
+                                    e.code, e.message
+                                )));
+                            }
+                        }
+                        next = (next + 1) % keys.len();
+                    }
+                    Ok(log)
+                })
+            })
+            .collect();
+        let logs = handles
+            .into_iter()
+            .map(|h| join_client(h.join()))
+            .collect();
+        handle.shutdown();
+        server_outcome = Some(match server_thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(ServerError::Bind(std::io::Error::other(
+                "server thread panicked",
+            ))),
+        });
+        logs
+    });
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    let stats = match server_outcome {
+        Some(Ok(stats)) => stats,
+        Some(Err(e)) => return Err(ServeError::Server(e)),
+        None => unreachable!("server outcome recorded before scope exit"),
+    };
+    let logs = logs?;
+    let client_observed_shed = logs.iter().map(|l| l.shed).sum();
+    let tcp = TcpServeStats {
+        queries_answered: stats.queries_answered,
+        shed: stats.shed,
+        client_observed_shed,
+        refused: stats.refused,
+        max_queue_depth: stats.max_queue_depth,
+        queue_capacity: cfg.queue_depth.max(1) as u64,
+        batches: stats.batches,
+        batched_queries: stats.batched_queries,
+        accepted_connections: stats.accepted_connections,
+        protocol_errors: stats.protocol_errors,
+    };
+    Ok(assemble_report(
+        cfg,
+        prepared,
+        keys,
+        logs,
+        elapsed_ns,
+        (0, 0),
+        Some(tcp),
+    ))
+}
+
+fn assemble_report(
+    cfg: ServeConfig,
+    prepared: &PreparedDataset,
+    keys: &[(Task, TaskConfig)],
+    logs: Vec<ClientLog>,
+    elapsed_ns: u64,
+    (cache_hits, cache_misses): (u64, u64),
+    tcp: Option<TcpServeStats>,
+) -> ServeReport {
     let mut latencies: Vec<u64> = Vec::new();
     let mut per_key = vec![0u64; keys.len()];
     let (mut wrong, mut degraded) = (0u64, 0u64);
@@ -370,10 +699,11 @@ pub fn run_serve(cfg: ServeConfig) -> ServeReport {
     } else {
         latencies.iter().sum::<u64>() / total_queries
     };
-    let (cache_hits, cache_misses) = engine.results_cache_counters().unwrap_or((0, 0));
 
     ServeReport {
         dataset: format!("{:?}", prepared.id),
+        transport: cfg.transport,
+        tcp,
         scale: cfg.scale.0,
         clients: cfg.clients,
         threads: cfg.threads,
@@ -418,6 +748,11 @@ pub const SERVE_NOTES: &[&str] = &[
     "Every answer is digest-checked against the sequential oracle computed \
      before the clock started; wrong_answers must be 0 for the report to \
      validate.",
+    "transport=tcp runs drive a real tadoc-server over loopback through the \
+     wire protocol: the tcp block records the server's admission counters \
+     (shed, max_queue_depth, batches) and must show zero protocol errors, \
+     shed counts that reconcile with what the clients observed, and a queue \
+     depth that never exceeded its configured capacity.",
 ];
 
 /// Renders serve reports as the machine-readable `BENCH_serve.json`.
@@ -433,8 +768,9 @@ pub fn serve_json(reports: &[ServeReport]) -> String {
     out.push_str("  ],\n  \"runs\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\n      \"dataset\": \"{}\",\n      \"scale\": {:.3},\n      \"clients\": {},\n      \"threads\": {},\n      \"duration_ms\": {},\n      \"elapsed_ns\": {},\n      \"mix\": \"{}\",\n      \"total_queries\": {},\n      \"wrong_answers\": {},\n      \"degraded\": {},\n      \"qps\": {:.3},\n      \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}},\n      \"results_cache\": {{\"enabled\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n      \"per_key\": [\n",
+            "    {{\n      \"dataset\": \"{}\",\n      \"transport\": \"{}\",\n      \"scale\": {:.3},\n      \"clients\": {},\n      \"threads\": {},\n      \"duration_ms\": {},\n      \"elapsed_ns\": {},\n      \"mix\": \"{}\",\n      \"total_queries\": {},\n      \"wrong_answers\": {},\n      \"degraded\": {},\n      \"qps\": {:.3},\n      \"latency\": {{\"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}},\n      \"results_cache\": {{\"enabled\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
             r.dataset,
+            r.transport.name(),
             r.scale,
             r.clients,
             r.threads,
@@ -454,6 +790,22 @@ pub fn serve_json(reports: &[ServeReport]) -> String {
             r.cache_misses,
             r.cache_hit_rate(),
         ));
+        if let Some(t) = &r.tcp {
+            out.push_str(&format!(
+                "      \"tcp\": {{\"queries_answered\": {}, \"shed\": {}, \"client_observed_shed\": {}, \"refused\": {}, \"max_queue_depth\": {}, \"queue_capacity\": {}, \"batches\": {}, \"batched_queries\": {}, \"accepted_connections\": {}, \"protocol_errors\": {}}},\n",
+                t.queries_answered,
+                t.shed,
+                t.client_observed_shed,
+                t.refused,
+                t.max_queue_depth,
+                t.queue_capacity,
+                t.batches,
+                t.batched_queries,
+                t.accepted_connections,
+                t.protocol_errors,
+            ));
+        }
+        out.push_str("      \"per_key\": [\n");
         for (j, k) in r.per_key.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"task\": \"{}\", \"sequence_length\": {}, \"queries\": {}}}{}\n",
@@ -479,6 +831,8 @@ mod tests {
     fn tiny_report() -> ServeReport {
         ServeReport {
             dataset: "A".to_string(),
+            transport: ServeTransport::InProcess,
+            tcp: None,
             scale: 0.05,
             clients: 2,
             threads: 2,
@@ -547,6 +901,80 @@ mod tests {
             .any(|p| p.contains("reconcile")));
     }
 
+    fn tiny_tcp_report() -> ServeReport {
+        let mut r = tiny_report();
+        r.transport = ServeTransport::Tcp;
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        r.tcp = Some(TcpServeStats {
+            queries_answered: 10,
+            shed: 2,
+            client_observed_shed: 2,
+            refused: 0,
+            max_queue_depth: 3,
+            queue_capacity: 4,
+            batches: 5,
+            batched_queries: 6,
+            accepted_connections: 2,
+            protocol_errors: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn tcp_schema_checks_reconciliation_and_bounded_queuing() {
+        assert!(tiny_tcp_report().schema_problems().is_empty());
+
+        let mut missing_block = tiny_tcp_report();
+        missing_block.tcp = None;
+        assert!(missing_block
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("without a tcp stats block")));
+
+        let mut stray_block = tiny_report();
+        stray_block.tcp = tiny_tcp_report().tcp;
+        assert!(stray_block
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("in-process transport with")));
+
+        let mut proto = tiny_tcp_report();
+        if let Some(t) = proto.tcp.as_mut() {
+            t.protocol_errors = 1;
+        }
+        assert!(proto
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("protocol errors")));
+
+        let mut shed_gap = tiny_tcp_report();
+        if let Some(t) = shed_gap.tcp.as_mut() {
+            t.client_observed_shed = 1;
+        }
+        assert!(shed_gap
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("sheds")));
+
+        let mut unbounded = tiny_tcp_report();
+        if let Some(t) = unbounded.tcp.as_mut() {
+            t.max_queue_depth = 99;
+        }
+        assert!(unbounded
+            .schema_problems()
+            .iter()
+            .any(|p| p.contains("unbounded queuing")));
+    }
+
+    #[test]
+    fn transports_parse_round_trip() {
+        for t in [ServeTransport::InProcess, ServeTransport::Tcp] {
+            assert_eq!(ServeTransport::parse(t.name()), Some(t));
+        }
+        assert_eq!(ServeTransport::parse("carrier-pigeon"), None);
+    }
+
     #[test]
     fn serve_json_contains_every_gate_checked_field() {
         let json = serve_json(&[tiny_report()]);
@@ -586,10 +1014,43 @@ mod tests {
             duration: Duration::from_millis(120),
             mix: ServeMix::All,
             results_cache: true,
-        });
+            transport: ServeTransport::InProcess,
+            queue_depth: 16,
+        })
+        .expect("in-process serve run");
         let problems = report.schema_problems();
         assert!(problems.is_empty(), "schema problems: {problems:?}");
         assert!(report.total_queries > 0);
         assert_eq!(report.wrong_answers, 0);
+        assert!(report.tcp.is_none());
+    }
+
+    /// The same miniature run through a real loopback server: the report
+    /// must validate, reconcile its tcp block, and stay oracle-correct over
+    /// the wire.
+    #[test]
+    fn miniature_tcp_serve_run_produces_a_valid_report() {
+        let report = run_serve(ServeConfig {
+            dataset: DatasetId::A,
+            scale: ExperimentScale(0.02),
+            clients: 2,
+            threads: 2,
+            duration: Duration::from_millis(120),
+            mix: ServeMix::All,
+            results_cache: true,
+            transport: ServeTransport::Tcp,
+            queue_depth: 16,
+        })
+        .expect("tcp serve run");
+        let problems = report.schema_problems();
+        assert!(problems.is_empty(), "schema problems: {problems:?}");
+        assert!(report.total_queries > 0);
+        assert_eq!(report.wrong_answers, 0);
+        let tcp = report.tcp.expect("tcp stats block");
+        assert_eq!(tcp.protocol_errors, 0);
+        assert!(tcp.accepted_connections >= 2);
+        let json = serve_json(&[report]);
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"max_queue_depth\""));
     }
 }

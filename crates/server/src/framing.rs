@@ -1,0 +1,244 @@
+//! Incremental frame I/O over a byte stream.
+//!
+//! [`FrameReader`] accumulates bytes from any [`Read`] until one whole frame
+//! is buffered, surviving short reads and read timeouts **without losing
+//! partial bytes**: a connection handler configures `SO_RCVTIMEO` so it can
+//! periodically check the server's shutdown flag, and a timeout mid-frame
+//! simply returns [`ReadOutcome::Idle`] with the partial frame retained for
+//! the next call.  Header validation happens as soon as the first ten bytes
+//! arrive, so a peer streaming garbage is rejected after at most
+//! [`crate::protocol::HEADER_LEN`] bytes instead of after a declared-length
+//! read.
+
+use std::io::{self, Read, Write};
+
+use crate::protocol::{decode_header, ProtocolError, HEADER_LEN};
+
+/// Outcome of one [`FrameReader::read_frame`] call.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// One whole frame: its kind byte and payload.
+    Frame {
+        /// The header's kind byte (not yet validated as request/response).
+        kind: u8,
+        /// The payload bytes (exactly the declared length).
+        payload: Vec<u8>,
+    },
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// The read timed out before a whole frame arrived; any partial bytes
+    /// stay buffered.  Callers use this to poll a shutdown flag and retry.
+    Idle,
+}
+
+/// A framing failure: either the transport broke or the peer violated the
+/// protocol.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Transport error (connection reset, …).
+    Io(io::Error),
+    /// The peer sent bytes that violate the protocol (bad magic, oversized
+    /// declaration, EOF mid-frame, …).
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "transport error: {e}"),
+            FrameReadError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for FrameReadError {
+    fn from(e: ProtocolError) -> Self {
+        FrameReadError::Protocol(e)
+    }
+}
+
+/// Is this I/O error a read timeout?  Linux reports `SO_RCVTIMEO` expiry as
+/// `WouldBlock`; other platforms use `TimedOut` — both mean "no bytes right
+/// now, try again".
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Accumulating frame reader.  One instance per connection; the internal
+/// buffer carries partial frames across calls.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    chunk: Box<[u8]>,
+}
+
+impl FrameReader {
+    /// A fresh reader with an empty buffer.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            chunk: vec![0u8; 64 * 1024].into_boxed_slice(),
+        }
+    }
+
+    /// Reads until one whole frame is buffered, the peer closes, the read
+    /// times out, or the peer violates the protocol.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> Result<ReadOutcome, FrameReadError> {
+        if self.chunk.is_empty() {
+            self.chunk = vec![0u8; 64 * 1024].into_boxed_slice();
+        }
+        loop {
+            // Validate the header (and learn the frame length) as soon as
+            // ten bytes are in.
+            if self.buf.len() >= HEADER_LEN {
+                let (kind, len) = decode_header(&self.buf)?;
+                let total = HEADER_LEN + len;
+                if self.buf.len() >= total {
+                    let rest = self.buf.split_off(total);
+                    let mut frame = std::mem::replace(&mut self.buf, rest);
+                    frame.drain(..HEADER_LEN);
+                    return Ok(ReadOutcome::Frame {
+                        kind,
+                        payload: frame,
+                    });
+                }
+            }
+            match r.read(&mut self.chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(ReadOutcome::Closed)
+                    } else {
+                        Err(ProtocolError::Truncated {
+                            needed: needed_for(&self.buf),
+                            got: self.buf.len(),
+                        }
+                        .into())
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&self.chunk[..n]),
+                Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Idle),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// How many bytes the partially-buffered frame needs in total.
+fn needed_for(buf: &[u8]) -> usize {
+    match decode_header(buf) {
+        Ok((_, len)) => HEADER_LEN + len,
+        Err(_) => HEADER_LEN,
+    }
+}
+
+/// Writes one encoded frame and flushes it.
+pub fn write_frame<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, parse_request, Request};
+
+    /// A reader that yields its script one fragment at a time, interleaving
+    /// timeouts.
+    struct Script {
+        parts: Vec<Vec<u8>>,
+        next: usize,
+    }
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.next >= self.parts.len() {
+                return Ok(0);
+            }
+            let part = &self.parts[self.next];
+            if part.is_empty() {
+                self.next += 1;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            let n = part.len().min(out.len());
+            out[..n].copy_from_slice(&part[..n]);
+            let rest = part[n..].to_vec();
+            if rest.is_empty() {
+                self.next += 1;
+            } else {
+                self.parts[self.next] = rest;
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frames_survive_fragmentation_and_timeouts() {
+        let a = encode_request(&Request::Stats);
+        let b = encode_request(&Request::Shutdown);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        // Split mid-header and mid-frame, with timeouts in between.
+        let parts = vec![
+            all[..3].to_vec(),
+            Vec::new(), // timeout
+            all[3..HEADER_LEN + 1].to_vec(),
+            Vec::new(), // timeout
+            all[HEADER_LEN + 1..].to_vec(),
+        ];
+        let mut r = Script { parts, next: 0 };
+        let mut fr = FrameReader::new();
+
+        let mut got = Vec::new();
+        let mut idles = 0;
+        loop {
+            match fr.read_frame(&mut r).expect("framing") {
+                ReadOutcome::Frame { kind, payload } => {
+                    got.push(parse_request(kind, &payload).expect("parse"));
+                }
+                ReadOutcome::Idle => idles += 1,
+                ReadOutcome::Closed => break,
+            }
+        }
+        assert_eq!(got, vec![Request::Stats, Request::Shutdown]);
+        assert_eq!(idles, 2);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncation() {
+        let a = encode_request(&Request::Stats);
+        let mut r = Script {
+            parts: vec![a[..HEADER_LEN - 2].to_vec()],
+            next: 0,
+        };
+        let mut fr = FrameReader::new();
+        match fr.read_frame(&mut r) {
+            Err(FrameReadError::Protocol(ProtocolError::Truncated { .. })) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_header_fails_fast() {
+        let mut r = Script {
+            parts: vec![vec![0xFF; 1024]],
+            next: 0,
+        };
+        let mut fr = FrameReader::new();
+        match fr.read_frame(&mut r) {
+            Err(FrameReadError::Protocol(ProtocolError::BadMagic(_))) => {}
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+    }
+}
